@@ -1,0 +1,61 @@
+// Command bitgen converts a placed-and-routed design database (NCD) into a
+// complete bitstream, the role the Xilinx bitgen tool plays at the end of
+// the conventional flow.
+//
+// Usage:
+//
+//	bitgen -ncd design.ncd -o design.bit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bitfile"
+	"repro/internal/bitgen"
+	"repro/internal/ncd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bitgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		ncdPath = flag.String("ncd", "", "placed-and-routed NCD file (required)")
+		outPath = flag.String("o", "design.bit", "output bitstream")
+	)
+	flag.Parse()
+	if *ncdPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-ncd is required")
+	}
+	data, err := os.ReadFile(*ncdPath)
+	if err != nil {
+		return err
+	}
+	design, err := ncd.Unmarshal(data)
+	if err != nil {
+		return err
+	}
+	bs, err := bitgen.FullBitstream(design)
+	if err != nil {
+		return err
+	}
+	wrapped := bitfile.Wrap(bitfile.Header{
+		Design: *ncdPath,
+		Part:   design.Part.Name,
+		Date:   time.Now().Format("2006/01/02"),
+		Time:   time.Now().Format("15:04:05"),
+	}, bs)
+	if err := os.WriteFile(*outPath, wrapped, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes, %s)\n", *outPath, len(bs), design.Part.Name)
+	return nil
+}

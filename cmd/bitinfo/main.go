@@ -1,0 +1,94 @@
+// Command bitinfo inspects a bitstream: identifies the target part, decodes
+// the packet structure, and (for full bitstreams) summarises configuration
+// content per column.
+//
+// Usage:
+//
+//	bitinfo [-packets] [-columns] design.bit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bitfile"
+	"repro/internal/bitstream"
+	"repro/internal/device"
+	"repro/internal/frames"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bitinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		packets = flag.Bool("packets", false, "dump the packet listing")
+		columns = flag.Bool("columns", false, "summarise non-empty frames per column")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("exactly one bitstream file expected")
+	}
+	file, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d bytes\n", flag.Arg(0), len(file))
+	bs, hdr, err := bitfile.Unwrap(file)
+	if err != nil {
+		return err
+	}
+	if hdr.Part != "" {
+		fmt.Printf(".bit header: design %q, part %s, built %s %s\n",
+			hdr.Design, hdr.Part, hdr.Date, hdr.Time)
+	}
+
+	part, err := bitstream.InferPart(bs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("part: %s\n", part)
+
+	mem := frames.New(part)
+	stats, err := bitstream.Apply(mem, bs)
+	if err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	kind := "partial"
+	if stats.FramesWritten == part.TotalFrames() {
+		kind = "complete"
+	}
+	fmt.Printf("type: %s (%d of %d frames written, %d packets, start-up=%v)\n",
+		kind, stats.FramesWritten, part.TotalFrames(), stats.Packets, stats.Started)
+
+	if *columns {
+		nonZero := map[int]int{}
+		for _, far := range mem.NonZeroFrames() {
+			nonZero[far.Major()]++
+		}
+		fmt.Println("non-empty frames per block-0 major:")
+		for maj := 0; maj < part.NumMajors(device.BlockCLB); maj++ {
+			if n := nonZero[maj]; n > 0 {
+				label := fmt.Sprintf("major %d", maj)
+				if col, ok := part.CLBColOfMajor(maj); ok {
+					label = fmt.Sprintf("CLB col %d", col+1)
+				}
+				fmt.Printf("  %-12s %d frames\n", label, n)
+			}
+		}
+	}
+	if *packets {
+		dump, err := bitstream.Dump(bs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(dump)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Command jbitsdiff is the JBitsDiff baseline (James-Roxby & Guccione): it
+// diffs two complete bitstreams and packages the differing frames as a
+// partial bitstream ("core").
+//
+// Usage:
+//
+//	jbitsdiff -ref base.bit -new with_core.bit -o core.bit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bitfile"
+	"repro/internal/jbitsdiff"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jbitsdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		refPath = flag.String("ref", "", "reference complete bitstream (required)")
+		newPath = flag.String("new", "", "complete bitstream containing the core (required)")
+		outPath = flag.String("o", "core.bit", "output core bitstream")
+	)
+	flag.Parse()
+	if *refPath == "" || *newPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-ref and -new are required")
+	}
+	refFile, err := os.ReadFile(*refPath)
+	if err != nil {
+		return err
+	}
+	ref, _, err := bitfile.Unwrap(refFile)
+	if err != nil {
+		return err
+	}
+	newFile, err := os.ReadFile(*newPath)
+	if err != nil {
+		return err
+	}
+	withCore, _, err := bitfile.Unwrap(newFile)
+	if err != nil {
+		return err
+	}
+	core, err := jbitsdiff.Extract(ref, withCore)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, core.Bitstream, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("core: %d differing frames on %s, %d bytes -> %s\n",
+		len(core.FARs), core.Part.Name, len(core.Bitstream), *outPath)
+	return nil
+}

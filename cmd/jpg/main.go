@@ -1,0 +1,137 @@
+// Command jpg is the partial-bitstream generation tool: the CLI counterpart
+// of the paper's GUI. It initialises a project from the base design's
+// complete bitstream, parses a sub-module variant's XDL and UCF files,
+// replays the module through the JBits layer, and writes a partial
+// bitstream. Options mirror the paper's tool: a floorplan view of the target
+// region, write-back onto the base bitstream (option 2), and download to a
+// (simulated) board over XHWIF.
+//
+// Usage:
+//
+//	jpg -base base.bit -xdl variant.xdl -ucf variant.ucf -o partial.bit \
+//	    [-writeback rewritten.bit] [-floorplan] [-strict] [-download]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bitfile"
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/xhwif"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jpg:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		basePath  = flag.String("base", "", "complete bitstream of the base design (required)")
+		xdlPath   = flag.String("xdl", "", "variant XDL file (required)")
+		ucfPath   = flag.String("ucf", "", "variant UCF file (required)")
+		outPath   = flag.String("o", "partial.bit", "output partial bitstream")
+		writeBack = flag.String("writeback", "", "also write the base bitstream with the module applied (the paper's option 2)")
+		floorplan = flag.Bool("floorplan", false, "print the module's floorplan footprint")
+		strict    = flag.Bool("strict", false, "reject modules escaping their declared AREA_GROUP columns")
+		download  = flag.Bool("download", false, "download to a simulated board and report the reconfiguration time")
+		compress  = flag.Bool("compress", false, "emit an MFWR-compressed partial bitstream")
+	)
+	flag.Parse()
+	if *basePath == "" || *xdlPath == "" || *ucfPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-base, -xdl and -ucf are required")
+	}
+	baseFile, err := os.ReadFile(*basePath)
+	if err != nil {
+		return err
+	}
+	baseBS, baseHdr, err := bitfile.Unwrap(baseFile)
+	if err != nil {
+		return err
+	}
+	if baseHdr.Part != "" {
+		fmt.Printf("base .bit header: design %q, part %s, %s %s\n",
+			baseHdr.Design, baseHdr.Part, baseHdr.Date, baseHdr.Time)
+	}
+	xdlText, err := os.ReadFile(*xdlPath)
+	if err != nil {
+		return err
+	}
+	ucfText, err := os.ReadFile(*ucfPath)
+	if err != nil {
+		return err
+	}
+
+	proj, err := core.NewProject(baseBS)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("project: %s, base bitstream %d bytes\n", proj.Part, len(baseBS))
+
+	m, err := proj.AddModule(*xdlPath, string(xdlText), string(ucfText))
+	if err != nil {
+		return err
+	}
+	fmt.Println("module:", m.Stats())
+	if *floorplan {
+		fmt.Print(m.FloorplanASCII(proj.Part))
+	}
+
+	res, err := proj.GeneratePartial(m, core.GenerateOptions{
+		WriteBack: *writeBack != "",
+		Strict:    *strict,
+		Compress:  *compress,
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, wrap(*xdlPath, proj.Part.Name, res.Bitstream), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("partial bitstream: %d bytes, %d frames (%d changed), columns %d..%d -> %s\n",
+		len(res.Bitstream), len(res.FARs), res.FramesChanged, res.Region.C1+1, res.Region.C2+1, *outPath)
+	fmt.Printf("size vs full: %.1f%%\n", 100*float64(len(res.Bitstream))/float64(len(baseBS)))
+
+	if *writeBack != "" {
+		full := bitstream.WriteFull(proj.Base)
+		if err := os.WriteFile(*writeBack, wrap("writeback", proj.Part.Name, full), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("write-back bitstream: %d bytes -> %s\n", len(full), *writeBack)
+	}
+
+	if *download {
+		board := xhwif.NewBoard(proj.Part)
+		dsFull, err := board.Download(baseBS)
+		if err != nil {
+			return err
+		}
+		ds, err := board.Download(res.Bitstream)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("download (SelectMAP @ %.0f MHz): full %v, partial %v (%.1fx faster)\n",
+			xhwif.DefaultClockHz/1e6, dsFull.ModelTime, ds.ModelTime,
+			float64(dsFull.ModelTime)/float64(ds.ModelTime))
+	}
+	return nil
+}
+
+// wrap encloses raw configuration data in a .bit container with a metadata
+// header.
+func wrap(design, part string, raw []byte) []byte {
+	now := time.Now()
+	return bitfile.Wrap(bitfile.Header{
+		Design: design,
+		Part:   part,
+		Date:   now.Format("2006/01/02"),
+		Time:   now.Format("15:04:05"),
+	}, raw)
+}

@@ -1,0 +1,75 @@
+// Command jpgbench regenerates the paper's evaluation: each experiment
+// (E1..E6, see DESIGN.md) prints the table reproducing one claim from
+// §2.1/§4.1/Figure 4 of the paper.
+//
+// Usage:
+//
+//	jpgbench                 # run everything at full scale
+//	jpgbench -exp e1,e5      # selected experiments
+//	jpgbench -quick          # shrunken sweeps (seconds instead of minutes)
+//	jpgbench -part XCV100    # device for the CAD-heavy experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var all = []struct {
+	id  string
+	run func(experiments.Config) (*experiments.Table, error)
+}{
+	{"e1", experiments.E1},
+	{"e2", experiments.E2},
+	{"e3", experiments.E3},
+	{"e4", experiments.E4},
+	{"e5", experiments.E5},
+	{"e6", experiments.E6},
+	{"e7", experiments.E7},
+	{"e8", experiments.E8},
+	{"e9", experiments.E9},
+}
+
+func main() {
+	var (
+		expList = flag.String("exp", "all", "comma-separated experiments (e1..e9) or 'all'")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		part    = flag.String("part", "XCV50", "device for CAD-heavy experiments")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Part: *part, Seed: *seed, Quick: *quick}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expList, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	failed := false
+	for _, exp := range all {
+		if !want["all"] && !want[exp.id] {
+			continue
+		}
+		t0 := time.Now()
+		tab, err := exp.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", exp.id, err)
+			failed = true
+			continue
+		}
+		fmt.Print(tab.Render())
+		fmt.Printf("(%s ran in %v)\n\n", strings.ToUpper(exp.id), time.Since(t0).Round(time.Millisecond))
+		for _, n := range tab.Notes {
+			if strings.Contains(n, "VERDICT: FAIL") {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,158 @@
+// Command par runs the CAD flow (synthesise, floorplan, place, route,
+// bitgen) — the reproduction's counterpart of the Xilinx Foundation
+// implementation tools. It builds either a partitioned base design (Phase 1)
+// or a sub-module variant project constrained by a base design's UCF
+// (Phase 2), emitting the NCD, XDL, UCF and bitstream files the rest of the
+// toolchain consumes.
+//
+// Phase 1 (base design):
+//
+//	par -part XCV50 -base "u1/=counter:bits=6;u2/=sbox:n=8,seed=3" -o out/base
+//
+// Phase 2 (variant of instance u1/, floorplanned by the base's UCF):
+//
+//	par -part XCV50 -variant "u1/=lfsr:bits=6,taps=5.2" -baseucf out/base.ucf -o out/u1_lfsr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bitfile"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/flow"
+	"repro/internal/netlist"
+	"repro/internal/timing"
+	"repro/internal/ucf"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "par:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		partName = flag.String("part", "XCV50", "target device")
+		baseSpec = flag.String("base", "", "base design instances (prefix=module;...)")
+		netPath  = flag.String("netlist", "", "implement a .net netlist file instead of generated modules")
+		varSpec  = flag.String("variant", "", "variant instance (prefix=module)")
+		baseUCF  = flag.String("baseucf", "", "base design UCF (required with -variant; optional with -netlist)")
+		outStem  = flag.String("o", "design", "output file stem (writes stem.ncd/.xdl/.ucf/.bit)")
+		seed     = flag.Int64("seed", 1, "random seed for placement")
+		effort   = flag.Float64("effort", 1.0, "placer effort")
+	)
+	flag.Parse()
+	part, err := device.ByName(*partName)
+	if err != nil {
+		return err
+	}
+	opts := flow.Options{Seed: *seed, Effort: *effort}
+
+	var a *flow.Artifacts
+	switch {
+	case *netPath != "":
+		if *baseSpec != "" || *varSpec != "" {
+			return fmt.Errorf("-netlist excludes -base/-variant")
+		}
+		text, err := os.ReadFile(*netPath)
+		if err != nil {
+			return err
+		}
+		nl, err := netlist.ParseText(string(text))
+		if err != nil {
+			return err
+		}
+		var cons *ucf.Constraints
+		if *baseUCF != "" {
+			ucfText, err := os.ReadFile(*baseUCF)
+			if err != nil {
+				return err
+			}
+			if cons, err = ucf.Parse(string(ucfText)); err != nil {
+				return err
+			}
+		}
+		if a, err = flow.Implement(part, nl, cons, opts); err != nil {
+			return err
+		}
+	case *baseSpec != "" && *varSpec == "":
+		insts, err := designs.ParseInstanceSpecs(*baseSpec)
+		if err != nil {
+			return err
+		}
+		base, err := flow.BuildBase(part, insts, opts)
+		if err != nil {
+			return err
+		}
+		a = &base.Artifacts
+		for prefix, rg := range base.Regions {
+			fmt.Printf("region %s -> columns %d..%d\n", prefix, rg.C1+1, rg.C2+1)
+		}
+	case *varSpec != "" && *baseSpec == "":
+		if *baseUCF == "" {
+			return fmt.Errorf("-variant requires -baseucf")
+		}
+		ucfText, err := os.ReadFile(*baseUCF)
+		if err != nil {
+			return err
+		}
+		cons, err := ucf.Parse(string(ucfText))
+		if err != nil {
+			return err
+		}
+		insts, err := designs.ParseInstanceSpecs(*varSpec)
+		if err != nil {
+			return err
+		}
+		if len(insts) != 1 {
+			return fmt.Errorf("-variant wants exactly one instance")
+		}
+		a, err = flow.BuildVariantUCF(part, cons, insts[0].Prefix, insts[0].Gen, opts)
+		if err != nil {
+			return err
+		}
+	default:
+		flag.Usage()
+		return fmt.Errorf("exactly one of -base or -variant is required")
+	}
+
+	st := a.Netlist.Stats()
+	fmt.Printf("design %q on %s: %d LUTs, %d FFs, %d nets\n",
+		a.Netlist.Name, part.Name, st.LUTs, st.DFFs, st.Nets)
+	fmt.Printf("times: %s\n", a.Times)
+	fmt.Printf("utilization: %s\n", a.Phys.Utilization())
+	if ta, err := timing.Analyze(a.Phys); err == nil {
+		fmt.Print(ta.Report())
+	}
+
+	netText, err := netlist.EmitText(a.Netlist)
+	if err != nil {
+		return err
+	}
+	wrapped := bitfile.Wrap(bitfile.Header{
+		Design: a.Netlist.Name + ".ncd",
+		Part:   part.Name,
+		Date:   time.Now().Format("2006/01/02"),
+		Time:   time.Now().Format("15:04:05"),
+	}, a.Bitstream)
+	for suffix, data := range map[string][]byte{
+		".ncd": a.NCD,
+		".xdl": []byte(a.XDL),
+		".ucf": []byte(a.UCF),
+		".bit": wrapped,
+		".net": []byte(netText),
+	} {
+		path := *outStem + suffix
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+	return nil
+}

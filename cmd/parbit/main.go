@@ -1,0 +1,71 @@
+// Command parbit is the PARBIT baseline (Horta & Lockwood): it extracts a
+// column-window partial bitstream from a complete bitstream, driven by an
+// options file — the bitstream-transforming alternative to JPG's CAD-flow
+// integration.
+//
+// Usage:
+//
+//	parbit -target full.bit -options window.opt -o partial.bit
+//
+// where window.opt contains e.g.:
+//
+//	target XCV50
+//	col_start 5
+//	col_end 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bitfile"
+	"repro/internal/parbit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "parbit:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		target  = flag.String("target", "", "complete target bitstream (required)")
+		optPath = flag.String("options", "", "options file (required)")
+		outPath = flag.String("o", "partial.bit", "output partial bitstream")
+	)
+	flag.Parse()
+	if *target == "" || *optPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-target and -options are required")
+	}
+	file, err := os.ReadFile(*target)
+	if err != nil {
+		return err
+	}
+	bs, _, err := bitfile.Unwrap(file)
+	if err != nil {
+		return err
+	}
+	optText, err := os.ReadFile(*optPath)
+	if err != nil {
+		return err
+	}
+	opts, err := parbit.ParseOptions(string(optText))
+	if err != nil {
+		return err
+	}
+	partial, err := parbit.Transform(bs, opts)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, partial, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("extracted columns %d..%d of %s: %d bytes (%.1f%% of full) -> %s\n",
+		opts.StartCol, opts.EndCol, opts.Part, len(partial),
+		100*float64(len(partial))/float64(len(bs)), *outPath)
+	return nil
+}

@@ -1,0 +1,76 @@
+// Command xdl converts between the binary NCD physical database and the
+// ASCII XDL form, mirroring the Xilinx xdl utility the JPG flow depends on
+// (paper §3.2: "The XDL utility converts the corresponding .ncd file into an
+// .xdl file").
+//
+// Usage:
+//
+//	xdl -ncd2xdl design.ncd -o design.xdl
+//	xdl -xdl2ncd design.xdl -o design.ncd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ncd"
+	"repro/internal/xdl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xdl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		toXDL = flag.String("ncd2xdl", "", "NCD file to convert to XDL")
+		toNCD = flag.String("xdl2ncd", "", "XDL file to convert to NCD")
+		out   = flag.String("o", "", "output file (required)")
+	)
+	flag.Parse()
+	if *out == "" || (*toXDL == "") == (*toNCD == "") {
+		flag.Usage()
+		return fmt.Errorf("exactly one of -ncd2xdl or -xdl2ncd, plus -o, is required")
+	}
+	switch {
+	case *toXDL != "":
+		data, err := os.ReadFile(*toXDL)
+		if err != nil {
+			return err
+		}
+		f, err := ncd.UnmarshalFlat(data)
+		if err != nil {
+			return err
+		}
+		text, err := xdl.EmitFlat(f)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes, design %q on %s)\n", *out, len(text), f.Design, f.Part)
+	case *toNCD != "":
+		text, err := os.ReadFile(*toNCD)
+		if err != nil {
+			return err
+		}
+		f, err := xdl.Parse(string(text))
+		if err != nil {
+			return err
+		}
+		data, err := ncd.MarshalFlat(f)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes, design %q on %s)\n", *out, len(data), f.Design, f.Part)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Block-RAM content reconfiguration: swapping a lookup table on a running
+// device by rewriting only the BRAM content frames — the "efficient
+// self-reconfigurable implementations using on-chip memory" pattern from the
+// era's literature. The logic columns are never touched, so the partial
+// bitstream is a fraction of even a module swap.
+//
+//	go run ./examples/bramswap
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	jpg "repro"
+)
+
+func main() {
+	part, err := jpg.PartByName("XCV50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A base design occupies the logic fabric; its BRAM is free for tables.
+	base, err := jpg.BuildBase(part, []jpg.Instance{
+		{Prefix: "u1/", Gen: jpg.Counter{Bits: 6}},
+	}, jpg.FlowOptions{Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	board := jpg.NewBoard(part)
+	if _, err := board.Download(base.Bitstream); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design running on %s (%d BRAM blocks available)\n\n",
+		part.Name, part.NumBRAMBlocks())
+
+	proj, err := jpg.NewProject(base.Bitstream)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load a sine table into block (side 1, block 0).
+	tables := map[string]func(i int) uint16{
+		"sine":     func(i int) uint16 { return uint16(32767.5 + 32767.5*math.Sin(2*math.Pi*float64(i)/256)) },
+		"sawtooth": func(i int) uint16 { return uint16(i * 257) },
+	}
+	for _, name := range []string{"sine", "sawtooth"} {
+		gen := tables[name]
+		var rom [jpg.BRAMWordsPerBlock]uint16
+		for i := range rom {
+			rom[i] = gen(i)
+		}
+		res, err := proj.UpdateBRAM(jpg.GenerateOptions{WriteBack: true, Compress: true},
+			func(jb *jpg.JBits) error { return jb.SetBRAMContent(1, 0, &rom) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := board.Download(res.Bitstream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %-8s table: %5d-byte partial (%.2f%% of full), %d frames, %v\n",
+			name, len(res.Bitstream),
+			100*float64(len(res.Bitstream))/float64(len(base.Bitstream)),
+			len(res.FARs), ds.ModelTime)
+
+		// Verify through readback.
+		jb := jpg.NewJBits(board.Readback())
+		for _, addr := range []int{0, 64, 128, 200, 255} {
+			got, err := jb.GetBRAMWord(1, 0, addr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if got != gen(addr) {
+				log.Fatalf("%s[%d] = %04x on device, want %04x", name, addr, got, gen(addr))
+			}
+		}
+		fmt.Printf("  readback verified at sampled addresses\n")
+	}
+
+	// The logic kept running: extract and check the counter still counts.
+	ex, err := jpg.ExtractDesign(board.Readback())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := jpg.SimulateExtracted(ex)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var v0, v1 uint64
+	s.Step()
+	for i := 0; i < 6; i++ {
+		if b, _ := s.Output(base.Pads[fmt.Sprintf("u1_out%d", i)]); b {
+			v0 |= 1 << i
+		}
+	}
+	s.Step()
+	for i := 0; i < 6; i++ {
+		if b, _ := s.Output(base.Pads[fmt.Sprintf("u1_out%d", i)]); b {
+			v1 |= 1 << i
+		}
+	}
+	fmt.Printf("\ncounter logic untouched: %d -> %d across one clock\n", v0, v1)
+	if v1 != v0+1 {
+		log.Fatal("logic disturbed by BRAM update")
+	}
+}

@@ -1,0 +1,132 @@
+// Package bitgen converts a placed-and-routed physical design into
+// configuration memory and complete bitstreams — the role the Xilinx bitgen
+// tool plays at the end of the conventional flow.
+package bitgen
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/device"
+	"repro/internal/frames"
+	"repro/internal/jbits"
+	"repro/internal/netlist"
+	"repro/internal/phys"
+)
+
+// Generate programs a fresh configuration memory with the design: LUT truth
+// tables, slice control bits, pad modes and routing PIPs.
+func Generate(d *phys.Design) (*frames.Memory, error) {
+	if err := d.CheckPlacement(); err != nil {
+		return nil, err
+	}
+	if err := d.CheckRoutes(); err != nil {
+		return nil, err
+	}
+	mem := frames.New(d.Part)
+	jb := jbits.New(mem)
+	if err := Program(jb, d); err != nil {
+		return nil, err
+	}
+	return mem, nil
+}
+
+// Program writes the design's configuration into an existing memory through
+// the JBits layer without clearing it first. JPG uses this to replay a
+// sub-module design onto a base bitstream.
+func Program(jb *jbits.JBits, d *phys.Design) error {
+	for _, c := range d.Netlist.SortedCells() {
+		site := d.Cells[c]
+		switch c.Kind {
+		case netlist.KindLUT4:
+			if err := programLUT(jb, c, site); err != nil {
+				return err
+			}
+		case netlist.KindDFF:
+			if err := programDFF(jb, c, site); err != nil {
+				return err
+			}
+		}
+	}
+	for _, p := range d.Netlist.Ports {
+		pad := d.Ports[p]
+		if err := jb.SetPadMode(pad, device.PadCtlInUse, true); err != nil {
+			return err
+		}
+		ctl := device.PadCtlOutEn
+		if p.Dir == netlist.In {
+			ctl = device.PadCtlInEn
+		}
+		if err := jb.SetPadMode(pad, ctl, true); err != nil {
+			return err
+		}
+	}
+	for _, n := range d.Netlist.SortedNets() {
+		r := d.Routes[n]
+		if r == nil {
+			continue
+		}
+		for _, pip := range r.PIPs {
+			jb.SetPIP(pip, true)
+		}
+	}
+	return nil
+}
+
+func programLUT(jb *jbits.JBits, c *netlist.Cell, site phys.Site) error {
+	lut := device.LUTF
+	if site.LE == phys.LEG {
+		lut = device.LUTG
+	}
+	if err := jb.SetLUT(site.Row, site.Col, site.Slice, lut, jbits.LUTValue(c.Init)); err != nil {
+		return fmt.Errorf("bitgen: LUT %q: %w", c.Name, err)
+	}
+	// Route the LUT result to the slice output (X or Y).
+	mux := device.SliceCtlXMUX
+	if site.LE == phys.LEG {
+		mux = device.SliceCtlYMUX
+	}
+	return jb.SetSliceCtl(site.Row, site.Col, site.Slice, mux, true)
+}
+
+func programDFF(jb *jbits.JBits, c *netlist.Cell, site phys.Site) error {
+	set := func(ctl int, v bool) error {
+		return jb.SetSliceCtl(site.Row, site.Col, site.Slice, ctl, v)
+	}
+	ff, init := device.SliceCtlFFX, device.SliceCtlINITX
+	if site.LE == phys.LEG {
+		ff, init = device.SliceCtlFFY, device.SliceCtlINITY
+	}
+	if err := set(ff, true); err != nil {
+		return fmt.Errorf("bitgen: DFF %q: %w", c.Name, err)
+	}
+	if c.Init&1 == 1 {
+		if err := set(init, true); err != nil {
+			return err
+		}
+	}
+	if c.CE != nil {
+		if err := set(device.SliceCtlCEUsed, true); err != nil {
+			return err
+		}
+	}
+	if c.Reset != nil {
+		if err := set(device.SliceCtlSRUsed, true); err != nil {
+			return err
+		}
+		if err := set(device.SliceCtlSync, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FullBitstream generates the complete bitstream for a design, as the
+// conventional flow's bitgen step produces.
+func FullBitstream(d *phys.Design) ([]byte, error) {
+	mem, err := Generate(d)
+	if err != nil {
+		return nil, err
+	}
+	return bitstream.WriteFull(mem), nil
+}

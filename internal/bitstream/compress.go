@@ -1,0 +1,131 @@
+package bitstream
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/frames"
+)
+
+// Compressed partial bitstreams: a forward-port of the Virtex-II MFWR
+// (multiple frame write) optimisation onto the Virtex protocol. Partial
+// bitstreams for column regions carry many identical frames (unused minors
+// are all-zero); the MFWR register writes the configuration logic's
+// last-committed frame to an explicitly addressed FAR without resending the
+// payload, so each repeated frame costs two words instead of a full frame.
+//
+// The writer groups the requested frames by content: each group's payload is
+// sent once through FDRI, then replicated with one MFWR write per extra
+// frame. Groups too small to profit are coalesced into ordinary FDRI runs.
+
+// RegMFWR is the multiple-frame-write register (an extension register; the
+// 2002-era Virtex protocol reserves the slot).
+const RegMFWR = 10
+
+// mfwrThreshold is the duplicate-group size at which MFWR replication beats
+// plain runs (a broken run costs roughly a frame of overhead).
+const mfwrThreshold = 3
+
+// WritePartialCompressed serialises the frame runs as a compressed partial
+// bitstream. Decoding requires a port that implements RegMFWR (this
+// package's Port does); WritePartial remains the baseline-compatible form.
+func WritePartialCompressed(mem *frames.Memory, runs []FrameRun) ([]byte, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("bitstream: compressed partial with no frames")
+	}
+	p := mem.Part
+
+	// Expand runs to an ordered FAR list and group by frame content.
+	var fars []device.FAR
+	for _, run := range runs {
+		far := run.Start
+		for k := 0; k < run.N; k++ {
+			if !p.ValidFAR(far) {
+				return nil, fmt.Errorf("bitstream: run of %d frames from %v overruns device", run.N, run.Start)
+			}
+			fars = append(fars, far)
+			if k < run.N-1 {
+				next, ok := p.NextFAR(far)
+				if !ok {
+					return nil, fmt.Errorf("bitstream: run of %d frames from %v overruns device", run.N, run.Start)
+				}
+				far = next
+			}
+		}
+	}
+	groups := map[string][]device.FAR{}
+	for _, far := range fars {
+		key := frameKey(mem.Frame(far))
+		groups[key] = append(groups[key], far)
+	}
+
+	var b builder
+	b.header()
+	b.cmd(CmdRCRC)
+	b.t1(RegFLR, uint32(p.FrameWords()-1))
+
+	// Replicated groups first (deterministic order: by first FAR).
+	replicated := map[device.FAR]bool{}
+	var leaders []device.FAR
+	byLeader := map[device.FAR][]device.FAR{}
+	for _, g := range groups {
+		if len(g) >= mfwrThreshold {
+			leaders = append(leaders, g[0])
+			byLeader[g[0]] = g
+		}
+	}
+	sortFARs(p, leaders)
+	for _, leader := range leaders {
+		g := byLeader[leader]
+		b.t1(RegFAR, uint32(leader))
+		b.cmd(CmdWCFG)
+		if err := b.fdri(mem, FrameRun{Start: leader, N: 1}); err != nil {
+			return nil, err
+		}
+		replicated[leader] = true
+		for _, far := range g[1:] {
+			b.t1(RegMFWR, uint32(far))
+			replicated[far] = true
+		}
+	}
+
+	// Remaining frames as plain contiguous runs.
+	var rest []device.FAR
+	for _, far := range fars {
+		if !replicated[far] {
+			rest = append(rest, far)
+		}
+	}
+	for _, run := range RunsForFARs(p, rest) {
+		b.t1(RegFAR, uint32(run.Start))
+		b.cmd(CmdWCFG)
+		if err := b.fdri(mem, run); err != nil {
+			return nil, err
+		}
+	}
+
+	b.cmd(CmdLFRM)
+	b.writeCRC()
+	b.cmd(CmdDESYNCH)
+	b.nop(4)
+	return wordsToBytes(b.words), nil
+}
+
+func frameKey(words []uint32) string {
+	buf := make([]byte, 4*len(words))
+	for i, w := range words {
+		buf[4*i] = byte(w >> 24)
+		buf[4*i+1] = byte(w >> 16)
+		buf[4*i+2] = byte(w >> 8)
+		buf[4*i+3] = byte(w)
+	}
+	return string(buf)
+}
+
+func sortFARs(p *device.Part, fars []device.FAR) {
+	for i := 1; i < len(fars); i++ {
+		for j := i; j > 0 && p.FrameIndex(fars[j-1]) > p.FrameIndex(fars[j]); j-- {
+			fars[j-1], fars[j] = fars[j], fars[j-1]
+		}
+	}
+}

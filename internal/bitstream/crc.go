@@ -1,0 +1,30 @@
+package bitstream
+
+// The configuration logic maintains a 16-bit running CRC over every register
+// write (register address and data word), as the real Virtex does. A write
+// to the CRC register compares the accumulated value against the written
+// value; mismatch aborts configuration. The CmdRCRC command resets it.
+//
+// Polynomial: CRC-16/IBM (x^16 + x^15 + x^2 + 1, poly 0x8005), bit-serial,
+// fed with the 4 low bits of the register address followed by the 32 data
+// bits, LSB first.
+
+const crcPoly = 0x8005
+
+// crcUpdate folds one register write into the running CRC.
+func crcUpdate(crc uint16, reg int, word uint32) uint16 {
+	crc = crcFeed(crc, uint32(reg), 4)
+	return crcFeed(crc, word, 32)
+}
+
+func crcFeed(crc uint16, v uint32, nbits int) uint16 {
+	for i := 0; i < nbits; i++ {
+		bit := uint16(v>>uint(i)) & 1
+		top := (crc >> 15) & 1
+		crc <<= 1
+		if top^bit == 1 {
+			crc ^= crcPoly
+		}
+	}
+	return crc
+}

@@ -1,0 +1,29 @@
+package bitstream
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// InferPart identifies the Virtex part a bitstream targets from its FLR
+// (frame length register) write — frame lengths are distinct across the
+// family, so the header pins down the device.
+func InferPart(bs []byte) (*device.Part, error) {
+	pis, err := Inspect(bs)
+	if err != nil {
+		return nil, err
+	}
+	for _, pi := range pis {
+		if pi.Reg == RegFLR && pi.Op == OpWrite && pi.Count == 1 {
+			words := int(pi.First) + 1
+			for _, p := range device.All() {
+				if p.FrameWords() == words {
+					return p, nil
+				}
+			}
+			return nil, fmt.Errorf("bitstream: FLR %d matches no known part", pi.First)
+		}
+	}
+	return nil, fmt.Errorf("bitstream: no FLR write found; cannot identify part")
+}

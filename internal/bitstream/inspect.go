@@ -1,0 +1,92 @@
+package bitstream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PacketInfo summarises one decoded packet for inspection tools.
+type PacketInfo struct {
+	Offset int // word offset of the header
+	Type   int
+	Op     int
+	Reg    int
+	Count  int
+	// First holds the first data word (e.g. the CMD code or FAR value) for
+	// short packets.
+	First uint32
+}
+
+func (pi PacketInfo) String() string {
+	op := [4]string{"NOP", "READ", "WRITE", "RSVD"}[pi.Op]
+	s := fmt.Sprintf("@%-6d T%d %-5s %-4s count=%d", pi.Offset, pi.Type, op, RegName(pi.Reg), pi.Count)
+	if pi.Op == OpWrite && pi.Count >= 1 {
+		switch pi.Reg {
+		case RegCMD:
+			s += " " + CmdName(pi.First)
+		case RegFAR, RegCRC, RegFLR:
+			s += fmt.Sprintf(" %#08x", pi.First)
+		}
+	}
+	return s
+}
+
+// Inspect decodes a bitstream without applying it and returns the packet
+// list. It tolerates unknown registers (it only summarises).
+func Inspect(bs []byte) ([]PacketInfo, error) {
+	words, err := BytesToWords(bs)
+	if err != nil {
+		return nil, err
+	}
+	var out []PacketInfo
+	synced := false
+	lastReg := -1
+	i := 0
+	for i < len(words) {
+		w := words[i]
+		if !synced {
+			if w == SyncWord {
+				synced = true
+			}
+			i++
+			continue
+		}
+		h, err := decodeHeader(w, lastReg)
+		if err != nil {
+			return out, fmt.Errorf("at word %d: %w", i, err)
+		}
+		pi := PacketInfo{Offset: i, Type: h.typ, Op: h.op, Reg: h.reg, Count: h.count}
+		if h.typ == packetType1 {
+			lastReg = h.reg
+		}
+		i++
+		if h.op == OpWrite {
+			if i+h.count > len(words) {
+				return out, fmt.Errorf("at word %d: truncated packet", pi.Offset)
+			}
+			if h.count >= 1 {
+				pi.First = words[i]
+			}
+			if h.reg == RegCMD && h.count == 1 && words[i] == CmdDESYNCH {
+				synced = false
+			}
+			i += h.count
+		}
+		out = append(out, pi)
+	}
+	return out, nil
+}
+
+// Dump renders a human-readable packet listing.
+func Dump(bs []byte) (string, error) {
+	pis, err := Inspect(bs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "bitstream: %d bytes, %d words\n", len(bs), len(bs)/4)
+	for _, pi := range pis {
+		fmt.Fprintln(&b, pi)
+	}
+	if err != nil {
+		fmt.Fprintf(&b, "DECODE ERROR: %v\n", err)
+	}
+	return b.String(), err
+}

@@ -1,0 +1,134 @@
+// Package bitstream implements the Virtex packet-based configuration
+// protocol: a codec that serialises configuration memory into full or
+// partial bitstreams, and a configuration-port virtual machine that applies
+// bitstreams to configuration memory the way the device's configuration
+// logic does (sync word, type-1/type-2 packets, FAR auto-increment, frame
+// pipelining with a trailing pad frame, and a running CRC).
+//
+// The packet structure follows the documented Virtex protocol (XAPP151);
+// exact field widths are fixed by this package and used consistently by the
+// writer and the port.
+package bitstream
+
+import "fmt"
+
+// SyncWord marks the start of packet processing, as on the real device.
+const SyncWord = 0xAA995566
+
+// DummyWord pads the bitstream header before the sync word.
+const DummyWord = 0xFFFFFFFF
+
+// Packet header encoding:
+//
+//	type 1: [31:29]=001 [28:27]=op [26:13]=register [10:0]=word count
+//	type 2: [31:29]=010 [28:27]=op [26:0]=word count (register from the
+//	        preceding type-1 header, as on the real device)
+const (
+	hdrTypeShift = 29
+	hdrOpShift   = 27
+	hdrRegShift  = 13
+	hdrOpMask    = 0x3
+	hdrRegMask   = 0x3FFF
+	t1CountMask  = 0x7FF
+	t2CountMask  = 0x7FFFFFF
+
+	packetType1 = 1
+	packetType2 = 2
+)
+
+// Packet opcodes.
+const (
+	OpNOP   = 0
+	OpRead  = 1
+	OpWrite = 2
+)
+
+// Configuration registers.
+const (
+	RegCRC  = 0  // CRC check value
+	RegFAR  = 1  // frame address
+	RegFDRI = 2  // frame data input
+	RegFDRO = 3  // frame data output (readback)
+	RegCMD  = 4  // command
+	RegCTL  = 5  // control
+	RegMASK = 6  // control write mask
+	RegSTAT = 7  // status (read only)
+	RegLOUT = 8  // legacy data out
+	RegCOR  = 9  // configuration options
+	RegFLR  = 11 // frame length
+)
+
+var regNames = map[int]string{
+	RegCRC: "CRC", RegFAR: "FAR", RegFDRI: "FDRI", RegFDRO: "FDRO",
+	RegCMD: "CMD", RegCTL: "CTL", RegMASK: "MASK", RegSTAT: "STAT",
+	RegLOUT: "LOUT", RegCOR: "COR", RegFLR: "FLR", RegMFWR: "MFWR",
+}
+
+// RegName returns the register mnemonic.
+func RegName(reg int) string {
+	if n, ok := regNames[reg]; ok {
+		return n
+	}
+	return fmt.Sprintf("REG%d", reg)
+}
+
+// CMD register command codes.
+const (
+	CmdNULL    = 0
+	CmdWCFG    = 1 // write configuration (enable FDRI frame writes)
+	CmdLFRM    = 3 // last frame
+	CmdRCFG    = 4 // read configuration
+	CmdSTART   = 5 // begin start-up sequence
+	CmdRCAP    = 6
+	CmdRCRC    = 7 // reset CRC
+	CmdAGHIGH  = 8
+	CmdSWITCH  = 9
+	CmdDESYNCH = 13 // leave packet processing
+)
+
+var cmdNames = map[uint32]string{
+	CmdNULL: "NULL", CmdWCFG: "WCFG", CmdLFRM: "LFRM", CmdRCFG: "RCFG",
+	CmdSTART: "START", CmdRCAP: "RCAP", CmdRCRC: "RCRC", CmdAGHIGH: "AGHIGH",
+	CmdSWITCH: "SWITCH", CmdDESYNCH: "DESYNCH",
+}
+
+// CmdName returns the command mnemonic.
+func CmdName(cmd uint32) string {
+	if n, ok := cmdNames[cmd]; ok {
+		return n
+	}
+	return fmt.Sprintf("CMD%d", cmd)
+}
+
+// type1Header builds a type-1 packet header word.
+func type1Header(op, reg, count int) uint32 {
+	return uint32(packetType1)<<hdrTypeShift |
+		uint32(op&hdrOpMask)<<hdrOpShift |
+		uint32(reg&hdrRegMask)<<hdrRegShift |
+		uint32(count&t1CountMask)
+}
+
+// type2Header builds a type-2 packet header word.
+func type2Header(op, count int) uint32 {
+	return uint32(packetType2)<<hdrTypeShift |
+		uint32(op&hdrOpMask)<<hdrOpShift |
+		uint32(count&t2CountMask)
+}
+
+// header describes a decoded packet header.
+type header struct {
+	typ, op, reg, count int
+}
+
+func decodeHeader(w uint32, prevReg int) (header, error) {
+	typ := int(w >> hdrTypeShift)
+	op := int(w>>hdrOpShift) & hdrOpMask
+	switch typ {
+	case packetType1:
+		return header{typ, op, int(w>>hdrRegShift) & hdrRegMask, int(w & t1CountMask)}, nil
+	case packetType2:
+		return header{typ, op, prevReg, int(w & t2CountMask)}, nil
+	default:
+		return header{}, fmt.Errorf("bitstream: bad packet header %#08x (type %d)", w, typ)
+	}
+}

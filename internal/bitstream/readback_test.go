@@ -1,0 +1,115 @@
+package bitstream
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/frames"
+)
+
+func TestReadbackRoundTrip(t *testing.T) {
+	mem := randomMemory(t, "XCV50", 11)
+	p := mem.Part
+	rg := frames.Region{R1: 0, C1: 3, R2: p.Rows - 1, C2: 7}
+	runs := RunsForFARs(p, rg.FARs(p))
+	got, err := ReadbackFrames(mem, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(runs) {
+		t.Fatalf("readback returned %d runs, want %d", len(got), len(runs))
+	}
+	for ri, run := range runs {
+		far := run.Start
+		for k := 0; k < run.N; k++ {
+			want := mem.Frame(far)
+			for w := range want {
+				if got[ri][k][w] != want[w] {
+					t.Fatalf("run %d frame %d word %d: %#x != %#x", ri, k, w, got[ri][k][w], want[w])
+				}
+			}
+			if k < run.N-1 {
+				far, _ = p.NextFAR(far)
+			}
+		}
+	}
+}
+
+func TestReadbackMultipleRuns(t *testing.T) {
+	mem := randomMemory(t, "XCV50", 12)
+	// Two disjoint single-frame runs.
+	f1 := device.MakeFAR(device.BlockCLB, 2, 5)
+	f2 := device.MakeFAR(device.BlockCLB, 9, 40)
+	runs := []FrameRun{{Start: f1, N: 1}, {Start: f2, N: 1}}
+	got, err := ReadbackFrames(mem, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, far := range []device.FAR{f1, f2} {
+		want := mem.Frame(far)
+		for w := range want {
+			if got[i][0][w] != want[w] {
+				t.Fatalf("run %d word %d mismatch", i, w)
+			}
+		}
+	}
+}
+
+func TestReadbackRequestValidation(t *testing.T) {
+	p := device.MustByName("XCV50")
+	if _, err := WriteReadbackRequest(p, nil); err == nil {
+		t.Fatal("empty request accepted")
+	}
+	if _, err := WriteReadbackRequest(p, []FrameRun{{Start: p.FirstFAR(), N: 0}}); err == nil {
+		t.Fatal("zero-length run accepted")
+	}
+	if _, err := WriteReadbackRequest(p, []FrameRun{{Start: device.MakeFAR(7, 0, 0), N: 1}}); err == nil {
+		t.Fatal("invalid FAR accepted")
+	}
+}
+
+func TestExecuteReadbackRejectsOverrun(t *testing.T) {
+	mem := frames.New(device.MustByName("XCV50"))
+	p := mem.Part
+	last, err := p.FARAt(p.TotalFrames() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := WriteReadbackRequest(p, []FrameRun{{Start: last, N: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteReadback(mem, req); err == nil {
+		t.Fatal("overrunning readback accepted")
+	}
+}
+
+func TestExecuteReadbackRejectsGarbage(t *testing.T) {
+	mem := frames.New(device.MustByName("XCV50"))
+	if _, err := ExecuteReadback(mem, []byte{1, 2, 3}); err == nil {
+		t.Fatal("misaligned request accepted")
+	}
+	// A write bitstream is a valid packet stream with no reads: should
+	// execute and return no data.
+	out, err := ExecuteReadback(mem, WriteFull(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatal("write stream produced readback data")
+	}
+}
+
+func TestParseReadbackLengthChecks(t *testing.T) {
+	p := device.MustByName("XCV50")
+	runs := []FrameRun{{Start: p.FirstFAR(), N: 2}}
+	if _, err := ParseReadback(p, runs, make([]uint32, p.FrameWords())); err == nil {
+		t.Fatal("short data accepted")
+	}
+	if _, err := ParseReadback(p, runs, make([]uint32, 5*p.FrameWords())); err == nil {
+		t.Fatal("long data accepted")
+	}
+	if _, err := ParseReadback(p, runs, make([]uint32, 3*p.FrameWords())); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package bitstream
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/frames"
+)
+
+// FrameRun is a contiguous range of frames in device order: N frames
+// starting at Start.
+type FrameRun struct {
+	Start device.FAR
+	N     int
+}
+
+// RunsForFARs coalesces a list of frame addresses (any order, duplicates
+// allowed) into maximal contiguous runs in device order.
+func RunsForFARs(p *device.Part, fars []device.FAR) []FrameRun {
+	if len(fars) == 0 {
+		return nil
+	}
+	seen := make(map[int]bool, len(fars))
+	idx := make([]int, 0, len(fars))
+	for _, f := range fars {
+		i := p.FrameIndex(f)
+		if !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	sortInts(idx)
+	var runs []FrameRun
+	runStart, runLen := idx[0], 1
+	flush := func() {
+		far, err := p.FARAt(runStart)
+		if err != nil {
+			panic(err) // indices came from FrameIndex, cannot be invalid
+		}
+		runs = append(runs, FrameRun{Start: far, N: runLen})
+	}
+	for _, i := range idx[1:] {
+		if i == runStart+runLen {
+			runLen++
+			continue
+		}
+		flush()
+		runStart, runLen = i, 1
+	}
+	flush()
+	return runs
+}
+
+func sortInts(a []int) {
+	// Insertion sort: run lists are short; avoids pulling in sort for one call.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// builder accumulates packet words, maintaining the same running CRC the
+// device will compute, so the trailing CRC write always matches.
+type builder struct {
+	words   []uint32
+	crc     uint16
+	lastReg int
+}
+
+func (b *builder) raw(w uint32) { b.words = append(b.words, w) }
+
+func (b *builder) fold(reg int, data ...uint32) {
+	for _, w := range data {
+		b.crc = crcUpdate(b.crc, reg, w)
+	}
+}
+
+// t1 emits a type-1 write packet.
+func (b *builder) t1(reg int, data ...uint32) {
+	b.raw(type1Header(OpWrite, reg, len(data)))
+	b.words = append(b.words, data...)
+	b.fold(reg, data...)
+	b.lastReg = reg
+}
+
+// t2 emits a zero-count type-1 header followed by a type-2 write packet,
+// the idiom large FDRI writes use.
+func (b *builder) t2(reg int, data []uint32) {
+	b.raw(type1Header(OpWrite, reg, 0))
+	b.raw(type2Header(OpWrite, len(data)))
+	b.words = append(b.words, data...)
+	b.fold(reg, data...)
+	b.lastReg = reg
+}
+
+func (b *builder) cmd(c uint32) {
+	b.t1(RegCMD, c)
+	if c == CmdRCRC {
+		b.crc = 0
+	}
+}
+
+// writeCRC emits the CRC check packet (which resets the running CRC).
+func (b *builder) writeCRC() {
+	b.raw(type1Header(OpWrite, RegCRC, 1))
+	b.raw(uint32(b.crc))
+	b.crc = 0
+}
+
+func (b *builder) nop(n int) {
+	for i := 0; i < n; i++ {
+		b.raw(type1Header(OpNOP, 0, 0))
+	}
+}
+
+func (b *builder) header() {
+	b.raw(DummyWord)
+	b.raw(DummyWord)
+	b.raw(SyncWord)
+}
+
+// fdri emits the frame data for a run: the frames' payloads followed by one
+// zero pad frame (the device's frame pipeline discards the final frame, so
+// N+1 frames of data configure N frames).
+func (b *builder) fdri(mem *frames.Memory, run FrameRun) error {
+	p := mem.Part
+	fw := p.FrameWords()
+	data := make([]uint32, 0, (run.N+1)*fw)
+	far := run.Start
+	for i := 0; i < run.N; i++ {
+		if !p.ValidFAR(far) {
+			return fmt.Errorf("bitstream: run of %d frames from %v overruns device", run.N, run.Start)
+		}
+		data = append(data, mem.Frame(far)...)
+		if i < run.N-1 {
+			next, ok := p.NextFAR(far)
+			if !ok {
+				return fmt.Errorf("bitstream: run of %d frames from %v overruns device", run.N, run.Start)
+			}
+			far = next
+		}
+	}
+	data = append(data, make([]uint32, fw)...) // pad frame
+	if len(data) <= t1CountMask {
+		b.t1(RegFDRI, data...)
+	} else {
+		b.t2(RegFDRI, data)
+	}
+	return nil
+}
+
+// WriteFull serialises the complete configuration memory as a full
+// bitstream, the product of a conventional bitgen run.
+func WriteFull(mem *frames.Memory) []byte {
+	p := mem.Part
+	var b builder
+	b.header()
+	b.cmd(CmdRCRC)
+	b.t1(RegFLR, uint32(p.FrameWords()-1))
+	b.t1(RegCOR, 0)
+	b.t1(RegMASK, 0xFFFFFFFF)
+	b.t1(RegCTL, 0)
+	b.t1(RegFAR, uint32(p.FirstFAR()))
+	b.cmd(CmdWCFG)
+	if err := b.fdri(mem, FrameRun{Start: p.FirstFAR(), N: p.TotalFrames()}); err != nil {
+		panic(err) // full-device run is always valid
+	}
+	b.cmd(CmdLFRM)
+	b.writeCRC()
+	b.cmd(CmdSTART)
+	b.cmd(CmdDESYNCH)
+	b.nop(4)
+	return wordsToBytes(b.words)
+}
+
+// WritePartial serialises only the given frame runs as a partial bitstream:
+// the stream a JPG-style tool downloads to reconfigure part of an already
+// running device. No start-up sequence is issued.
+func WritePartial(mem *frames.Memory, runs []FrameRun) ([]byte, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("bitstream: partial bitstream with no frames")
+	}
+	p := mem.Part
+	var b builder
+	b.header()
+	b.cmd(CmdRCRC)
+	b.t1(RegFLR, uint32(p.FrameWords()-1))
+	for _, run := range runs {
+		if run.N <= 0 {
+			return nil, fmt.Errorf("bitstream: empty frame run at %v", run.Start)
+		}
+		b.t1(RegFAR, uint32(run.Start))
+		b.cmd(CmdWCFG)
+		if err := b.fdri(mem, run); err != nil {
+			return nil, err
+		}
+	}
+	b.cmd(CmdLFRM)
+	b.writeCRC()
+	b.cmd(CmdDESYNCH)
+	b.nop(4)
+	return wordsToBytes(b.words), nil
+}
+
+// WritePartialForFARs is WritePartial over an uncoalesced frame list.
+func WritePartialForFARs(mem *frames.Memory, fars []device.FAR) ([]byte, error) {
+	return WritePartial(mem, RunsForFARs(mem.Part, fars))
+}
+
+func wordsToBytes(words []uint32) []byte {
+	out := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.BigEndian.PutUint32(out[4*i:], w)
+	}
+	return out
+}
+
+// BytesToWords converts a bitstream byte slice to big-endian words.
+func BytesToWords(bs []byte) ([]uint32, error) {
+	if len(bs)%4 != 0 {
+		return nil, fmt.Errorf("bitstream: length %d not a multiple of 4", len(bs))
+	}
+	words := make([]uint32, len(bs)/4)
+	for i := range words {
+		words[i] = binary.BigEndian.Uint32(bs[4*i:])
+	}
+	return words, nil
+}

@@ -1,0 +1,277 @@
+// Package core implements JPG, the paper's contribution: a partial-bitstream
+// generation tool sitting at the end of the standard CAD flow. A Project is
+// initialised from the base design's complete bitstream; each sub-module
+// variant arrives as the XDL + UCF pair the standard tools produced, is
+// replayed through the JBits layer onto the base configuration, and leaves
+// as a partial bitstream covering exactly the module's configuration
+// columns. The tool optionally writes the partial configuration back onto
+// the base (the paper's option 2) and downloads it to a board over the
+// XHWIF interface.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/device"
+	"repro/internal/frames"
+	"repro/internal/jbits"
+	"repro/internal/ucf"
+	"repro/internal/xdl"
+	"repro/internal/xhwif"
+)
+
+// Project is a JPG project: a target device plus the base design's current
+// configuration.
+type Project struct {
+	Part *device.Part
+	// Base is the base design's configuration memory, as recovered from
+	// the complete bitstream the project was created with (and updated by
+	// write-backs).
+	Base *frames.Memory
+	// Modules lists the sub-module variants added to the project.
+	Modules []*Module
+}
+
+// NewProject initialises a project from a complete base bitstream; the part
+// is identified from the bitstream header, and the configuration memory is
+// recovered by running the bitstream through the configuration-port model.
+func NewProject(baseBitstream []byte) (*Project, error) {
+	part, err := bitstream.InferPart(baseBitstream)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	mem := frames.New(part)
+	stats, err := bitstream.Apply(mem, baseBitstream)
+	if err != nil {
+		return nil, fmt.Errorf("core: base bitstream rejected: %w", err)
+	}
+	if stats.FramesWritten != part.TotalFrames() {
+		return nil, fmt.Errorf("core: base bitstream wrote %d of %d frames; a complete bitstream is required",
+			stats.FramesWritten, part.TotalFrames())
+	}
+	return &Project{Part: part, Base: mem}, nil
+}
+
+// NewProjectForPart initialises a project from an explicit part and
+// configuration memory (for callers that already hold the device state,
+// e.g. via readback).
+func NewProjectForPart(part *device.Part, base *frames.Memory) (*Project, error) {
+	if base.Part != part {
+		return nil, fmt.Errorf("core: memory is for %s, not %s", base.Part.Name, part.Name)
+	}
+	return &Project{Part: part, Base: base.Clone()}, nil
+}
+
+// AddModule parses a sub-module variant's XDL and UCF texts (the outputs of
+// the variant's own CAD run, paper Phase 2) and registers it with the
+// project after containment analysis.
+func (p *Project) AddModule(name, xdlText, ucfText string) (*Module, error) {
+	design, err := xdl.Load(xdlText)
+	if err != nil {
+		return nil, fmt.Errorf("core: module %s: %w", name, err)
+	}
+	if design.Part != p.Part {
+		return nil, fmt.Errorf("core: module %s targets %s but the project device is %s",
+			name, design.Part.Name, p.Part.Name)
+	}
+	cons, err := ucf.Parse(ucfText)
+	if err != nil {
+		return nil, fmt.Errorf("core: module %s: %w", name, err)
+	}
+	if err := cons.Validate(p.Part); err != nil {
+		return nil, fmt.Errorf("core: module %s: %w", name, err)
+	}
+	m, err := newModule(name, design, cons)
+	if err != nil {
+		return nil, fmt.Errorf("core: module %s: %w", name, err)
+	}
+	p.Modules = append(p.Modules, m)
+	return m, nil
+}
+
+// GenerateOptions controls partial-bitstream generation.
+type GenerateOptions struct {
+	// WriteBack overwrites the project's base configuration with the
+	// reconfigured state (the paper's option 2). Without it the base is
+	// left untouched (option 1).
+	WriteBack bool
+	// Strict rejects modules whose placement or routing escapes their
+	// declared AREA_GROUP columns instead of widening the written region.
+	Strict bool
+	// Compress emits an MFWR-compressed partial bitstream (duplicate frames
+	// are replicated by reference; see bitstream.WritePartialCompressed).
+	// The board's configuration port must support the MFWR extension.
+	Compress bool
+}
+
+// Result reports one partial-bitstream generation.
+type Result struct {
+	// Bitstream is the partial bitstream.
+	Bitstream []byte
+	// Region is the full-height column region the bitstream rewrites.
+	Region frames.Region
+	// FARs lists the frames carried by the bitstream, in device order.
+	FARs []device.FAR
+	// FramesChanged counts carried frames that differ from the base.
+	FramesChanged int
+}
+
+// GeneratePartial replays the module onto (a copy of) the base
+// configuration and emits the partial bitstream for its columns.
+func (p *Project) GeneratePartial(m *Module, opts GenerateOptions) (*Result, error) {
+	region, err := m.writeRegion(p.Part, opts.Strict)
+	if err != nil {
+		return nil, err
+	}
+	work := p.Base.Clone()
+	jb := jbits.New(work)
+	// The write granularity is whole columns, so the region's columns are
+	// blanked over the full device height and the module is replayed into
+	// them. Floorplans must therefore give reconfigurable modules exclusive
+	// columns (as on the real device, where a frame spans the full column).
+	if err := jb.ClearRegion(region); err != nil {
+		return nil, err
+	}
+	if err := m.program(jb); err != nil {
+		return nil, err
+	}
+	fars := region.FARs(p.Part)
+	var bs []byte
+	if opts.Compress {
+		bs, err = bitstream.WritePartialCompressed(work, bitstream.RunsForFARs(p.Part, fars))
+	} else {
+		bs, err = bitstream.WritePartialForFARs(work, fars)
+	}
+	if err != nil {
+		return nil, err
+	}
+	changed := 0
+	for _, f := range fars {
+		if !work.FrameEqual(p.Base, f) {
+			changed++
+		}
+	}
+	if opts.WriteBack {
+		p.Base = work
+	}
+	return &Result{Bitstream: bs, Region: region, FARs: fars, FramesChanged: changed}, nil
+}
+
+// GenerateAndDownload generates the partial bitstream and downloads it to a
+// board over the XHWIF interface (always writing back, so the project's view
+// of the base configuration tracks the device state).
+func (p *Project) GenerateAndDownload(m *Module, board xhwif.HWIF, opts GenerateOptions) (*Result, xhwif.DownloadStats, error) {
+	opts.WriteBack = true
+	res, err := p.GeneratePartial(m, opts)
+	if err != nil {
+		return nil, xhwif.DownloadStats{}, err
+	}
+	ds, err := board.Download(res.Bitstream)
+	if err != nil {
+		return res, ds, fmt.Errorf("core: download: %w", err)
+	}
+	return res, ds, nil
+}
+
+// Readbacker is the readback side of a board: it executes readback packet
+// requests. *xhwif.Board implements it.
+type Readbacker interface {
+	ExecuteReadback(request []byte) ([]uint32, error)
+}
+
+// VerifyRegion reads the region's frames back from a board through the
+// readback protocol and compares them against the project's view of the
+// configuration — the "verify the update is happening on the region desired"
+// step of the paper's tool, done with data instead of a GUI.
+func (p *Project) VerifyRegion(rg frames.Region, board Readbacker) error {
+	if !rg.Valid(p.Part) {
+		return fmt.Errorf("core: verify region %v invalid for %s", rg, p.Part.Name)
+	}
+	fars := rg.FARs(p.Part)
+	runs := bitstream.RunsForFARs(p.Part, fars)
+	req, err := bitstream.WriteReadbackRequest(p.Part, runs)
+	if err != nil {
+		return err
+	}
+	raw, err := board.ExecuteReadback(req)
+	if err != nil {
+		return fmt.Errorf("core: readback: %w", err)
+	}
+	perRun, err := bitstream.ParseReadback(p.Part, runs, raw)
+	if err != nil {
+		return err
+	}
+	for ri, run := range runs {
+		far := run.Start
+		for k := 0; k < run.N; k++ {
+			want := p.Base.Frame(far)
+			got := perRun[ri][k]
+			for w := range want {
+				if got[w] != want[w] {
+					return fmt.Errorf("core: verify failed at %v word %d: device %#08x, expected %#08x",
+						far, w, got[w], want[w])
+				}
+			}
+			if k < run.N-1 {
+				next, ok := p.Part.NextFAR(far)
+				if !ok {
+					return fmt.Errorf("core: verify run overruns device")
+				}
+				far = next
+			}
+		}
+	}
+	return nil
+}
+
+// UpdateBRAM applies fn to a copy of the base configuration (fn typically
+// rewrites block-RAM content through the JBits layer) and emits a partial
+// bitstream covering only the BRAM content columns fn touched — run-time
+// data reconfiguration without disturbing any logic frame. WriteBack applies
+// as in GeneratePartial.
+func (p *Project) UpdateBRAM(opts GenerateOptions, fn func(jb *jbits.JBits) error) (*Result, error) {
+	work := p.Base.Clone()
+	if err := fn(jbits.New(work)); err != nil {
+		return nil, err
+	}
+	diff, err := work.Diff(p.Base)
+	if err != nil {
+		return nil, err
+	}
+	if len(diff) == 0 {
+		return nil, fmt.Errorf("core: BRAM update changed nothing")
+	}
+	sides := map[int]bool{}
+	for _, far := range diff {
+		if far.BlockType() != device.BlockBRAM {
+			return nil, fmt.Errorf("core: BRAM update touched non-BRAM frame %v", far)
+		}
+		sides[far.Major()] = true
+	}
+	var fars []device.FAR
+	for side := 0; side < 2; side++ {
+		if sides[side] {
+			fars = append(fars, p.Part.BRAMColumnFARs(side)...)
+		}
+	}
+	var bs []byte
+	if opts.Compress {
+		bs, err = bitstream.WritePartialCompressed(work, bitstream.RunsForFARs(p.Part, fars))
+	} else {
+		bs, err = bitstream.WritePartialForFARs(work, fars)
+	}
+	if err != nil {
+		return nil, err
+	}
+	changed := 0
+	for _, f := range fars {
+		if !work.FrameEqual(p.Base, f) {
+			changed++
+		}
+	}
+	if opts.WriteBack {
+		p.Base = work
+	}
+	return &Result{Bitstream: bs, FARs: fars, FramesChanged: changed}, nil
+}

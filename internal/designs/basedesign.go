@@ -1,0 +1,70 @@
+package designs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// Instance names one module of a partitioned base design.
+type Instance struct {
+	// Prefix is the instance's cell-name prefix, e.g. "u1/". The
+	// floorplanner groups cells by this prefix into one region.
+	Prefix string
+	Gen    Generator
+}
+
+// BaseDesign assembles a partitioned base design (the paper's Phase 1): each
+// instance's logic is built under its prefix, all registers share one clock,
+// and each instance's data interface is exposed as top-level ports named
+// <prefix-without-slash>_in<i> / _out<i>. Replacing an instance with a
+// variant of identical interface leaves every port (and so every pad) in
+// place, which is what makes partial reconfiguration of the region sound.
+func BaseDesign(name string, insts []Instance) (*netlist.Design, error) {
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("designs: base design with no instances")
+	}
+	d := netlist.NewDesign(name)
+	clk, err := d.AddPort("clk", netlist.In, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, inst := range insts {
+		if inst.Prefix == "" || !strings.HasSuffix(inst.Prefix, "/") {
+			return nil, fmt.Errorf("designs: instance prefix %q must end in '/'", inst.Prefix)
+		}
+		base := strings.TrimSuffix(inst.Prefix, "/")
+		ins := make([]*netlist.Net, inst.Gen.NumInputs())
+		for i := range ins {
+			p, err := d.AddPort(fmt.Sprintf("%s_in%d", base, i), netlist.In, nil)
+			if err != nil {
+				return nil, err
+			}
+			ins[i] = p.Net
+		}
+		outs, err := inst.Gen.Build(d, inst.Prefix, clk.Net, ins)
+		if err != nil {
+			return nil, fmt.Errorf("designs: building %s as %s: %w", inst.Gen.Name(), inst.Prefix, err)
+		}
+		if len(outs) != inst.Gen.NumOutputs() {
+			return nil, fmt.Errorf("designs: %s produced %d outputs, declared %d",
+				inst.Gen.Name(), len(outs), inst.Gen.NumOutputs())
+		}
+		for i, n := range outs {
+			if _, err := d.AddPort(fmt.Sprintf("%s_out%d", base, i), netlist.Out, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// InterfaceCompatible reports whether two generators can replace each other
+// in a region (the paper's identical-interface assumption).
+func InterfaceCompatible(a, b Generator) bool {
+	return a.NumInputs() == b.NumInputs() && a.NumOutputs() == b.NumOutputs()
+}

@@ -1,0 +1,446 @@
+// Package designs provides parameterized, deterministic workload generators:
+// the module library the examples and experiments draw from. Each generator
+// instantiates one logic module into a netlist under a cell-name prefix, so
+// module membership survives into floorplanning (AREA_GROUP constraints match
+// on the prefix) — mirroring the paper's sub-module-per-region methodology.
+package designs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+	"repro/internal/techmap"
+)
+
+// Generator instantiates one module.
+type Generator interface {
+	// Name identifies the module family and parameters, e.g. "counter8".
+	Name() string
+	// NumInputs and NumOutputs give the module data interface width
+	// (excluding the clock). Variants that replace each other in a region
+	// must agree on these, per the paper's identical-interface assumption.
+	NumInputs() int
+	NumOutputs() int
+	// Build instantiates the module into d with the given cell-name
+	// prefix. ins supplies NumInputs nets; the returned slice carries
+	// NumOutputs nets. clk drives every register in the module.
+	Build(d *netlist.Design, prefix string, clk *netlist.Net, ins []*netlist.Net) ([]*netlist.Net, error)
+}
+
+// Standalone wraps a generator as a complete design with ports, the form a
+// Phase-2 sub-module project takes: ports clk, in0.., out0...
+func Standalone(g Generator, designName, prefix string) (*netlist.Design, error) {
+	d := netlist.NewDesign(designName)
+	clk, err := d.AddPort("clk", netlist.In, nil)
+	if err != nil {
+		return nil, err
+	}
+	ins := make([]*netlist.Net, g.NumInputs())
+	for i := range ins {
+		p, err := d.AddPort(fmt.Sprintf("in%d", i), netlist.In, nil)
+		if err != nil {
+			return nil, err
+		}
+		ins[i] = p.Net
+	}
+	outs, err := g.Build(d, prefix, clk.Net, ins)
+	if err != nil {
+		return nil, err
+	}
+	if len(outs) != g.NumOutputs() {
+		return nil, fmt.Errorf("designs: %s produced %d outputs, declared %d", g.Name(), len(outs), g.NumOutputs())
+	}
+	for i, n := range outs {
+		if _, err := d.AddPort(fmt.Sprintf("out%d", i), netlist.Out, n); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Counter is a free-running binary counter with Bits state bits.
+// Outputs: the counter value. Inputs: none.
+type Counter struct{ Bits int }
+
+func (c Counter) Name() string    { return fmt.Sprintf("counter%d", c.Bits) }
+func (c Counter) NumInputs() int  { return 0 }
+func (c Counter) NumOutputs() int { return c.Bits }
+
+func (c Counter) Build(d *netlist.Design, prefix string, clk *netlist.Net, ins []*netlist.Net) ([]*netlist.Net, error) {
+	if c.Bits < 1 {
+		return nil, fmt.Errorf("designs: counter needs at least 1 bit")
+	}
+	m := techmap.NewMapper(d, prefix)
+	// First create the state FFs on placeholder data nets, then map the
+	// next-state logic and rewire — the standard break for state loops.
+	q := make([]*netlist.Net, c.Bits)
+	ffs := make([]*netlist.Cell, c.Bits)
+	for i := range q {
+		dn := d.NewNet(fmt.Sprintf("%sd%d", prefix, i))
+		ff, err := d.AddDFF(fmt.Sprintf("%sq%d", prefix, i), dn, clk, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		ffs[i] = ff
+		q[i] = ff.Out
+	}
+	for i := range q {
+		// d_i = q_i XOR (q_0 AND .. AND q_{i-1}); d_0 = NOT q_0.
+		var e techmap.Expr
+		if i == 0 {
+			e = techmap.Not(techmap.Var(q[0]))
+		} else {
+			lower := make([]techmap.Expr, i)
+			for k := 0; k < i; k++ {
+				lower[k] = techmap.Var(q[k])
+			}
+			e = techmap.Xor(techmap.Var(q[i]), techmap.And(lower...))
+		}
+		dnet, err := m.MapExpr(fmt.Sprintf("nxt%d", i), e)
+		if err != nil {
+			return nil, err
+		}
+		rewireData(ffs[i], dnet)
+	}
+	return q, nil
+}
+
+// rewireData repoints a DFF's D input from its placeholder net to the real
+// data net, keeping sink bookkeeping consistent.
+func rewireData(ff *netlist.Cell, data *netlist.Net) {
+	old := ff.Inputs[0]
+	old.Sinks = removeSink(old.Sinks, ff, "D")
+	ff.Inputs[0] = data
+	data.Sinks = append(data.Sinks, netlist.PinRef{Cell: ff, Pin: "D"})
+}
+
+func removeSink(sinks []netlist.PinRef, c *netlist.Cell, pin string) []netlist.PinRef {
+	out := sinks[:0]
+	for _, s := range sinks {
+		if s.Cell != c || s.Pin != pin {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LFSR is a Fibonacci linear-feedback shift register with Bits state bits
+// and feedback Taps (bit indices XORed into the input). Inputs: none.
+// Outputs: the register state.
+type LFSR struct {
+	Bits int
+	Taps []int
+}
+
+func (l LFSR) Name() string {
+	mask := 0
+	for _, tp := range l.Taps {
+		if tp >= 0 && tp < 64 {
+			mask |= 1 << tp
+		}
+	}
+	return fmt.Sprintf("lfsr%d_t%x", l.Bits, mask)
+}
+func (l LFSR) NumInputs() int  { return 0 }
+func (l LFSR) NumOutputs() int { return l.Bits }
+
+func (l LFSR) Build(d *netlist.Design, prefix string, clk *netlist.Net, ins []*netlist.Net) ([]*netlist.Net, error) {
+	if l.Bits < 2 {
+		return nil, fmt.Errorf("designs: LFSR needs at least 2 bits")
+	}
+	taps := l.Taps
+	if len(taps) == 0 {
+		taps = []int{l.Bits - 1, l.Bits/2 - 1} // serviceable default
+	}
+	for _, tp := range taps {
+		if tp < 0 || tp >= l.Bits {
+			return nil, fmt.Errorf("designs: LFSR tap %d out of range", tp)
+		}
+	}
+	m := techmap.NewMapper(d, prefix)
+	q := make([]*netlist.Net, l.Bits)
+	ffs := make([]*netlist.Cell, l.Bits)
+	for i := range q {
+		dn := d.NewNet(fmt.Sprintf("%sd%d", prefix, i))
+		ff, err := d.AddDFF(fmt.Sprintf("%sq%d", prefix, i), dn, clk, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		// Seed the register with alternating init values so it never
+		// starts in the all-zero lock-up state.
+		if i%2 == 0 {
+			ff.Init = 1
+		}
+		ffs[i] = ff
+		q[i] = ff.Out
+	}
+	// Feedback into bit 0; shift elsewhere (q_i <= q_{i-1}).
+	fb := make([]techmap.Expr, len(taps))
+	for i, tp := range taps {
+		fb[i] = techmap.Var(q[tp])
+	}
+	fbNet, err := m.MapExpr("fb", techmap.Xor(fb...))
+	if err != nil {
+		return nil, err
+	}
+	rewireData(ffs[0], fbNet)
+	for i := 1; i < l.Bits; i++ {
+		rewireData(ffs[i], q[i-1])
+	}
+	return q, nil
+}
+
+// RippleAdder is a registered Bits-bit adder: out = reg(a + b), plus carry.
+// Inputs: a0..aB-1, b0..bB-1. Outputs: s0..sB-1, carry.
+type RippleAdder struct{ Bits int }
+
+func (a RippleAdder) Name() string    { return fmt.Sprintf("adder%d", a.Bits) }
+func (a RippleAdder) NumInputs() int  { return 2 * a.Bits }
+func (a RippleAdder) NumOutputs() int { return a.Bits + 1 }
+
+func (a RippleAdder) Build(d *netlist.Design, prefix string, clk *netlist.Net, ins []*netlist.Net) ([]*netlist.Net, error) {
+	if a.Bits < 1 {
+		return nil, fmt.Errorf("designs: adder needs at least 1 bit")
+	}
+	if len(ins) != a.NumInputs() {
+		return nil, fmt.Errorf("designs: adder%d got %d inputs", a.Bits, len(ins))
+	}
+	m := techmap.NewMapper(d, prefix)
+	av, bv := ins[:a.Bits], ins[a.Bits:]
+	outs := make([]*netlist.Net, 0, a.Bits+1)
+	var carry techmap.Expr
+	for i := 0; i < a.Bits; i++ {
+		ai, bi := techmap.Var(av[i]), techmap.Var(bv[i])
+		var sum techmap.Expr
+		if carry == nil {
+			sum = techmap.Xor(ai, bi)
+		} else {
+			sum = techmap.Xor(ai, bi, carry)
+		}
+		sNet, err := m.MapRegistered(fmt.Sprintf("s%d", i), sum, clk)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, sNet)
+		if carry == nil {
+			carry = techmap.And(ai, bi)
+		} else {
+			carry = techmap.Or(techmap.And(ai, bi), techmap.And(carry, techmap.Xor(ai, bi)))
+		}
+		// Materialise the carry every stage to keep expression support
+		// bounded (a LUT-based ripple chain, like the real thing).
+		cNet, err := m.MapExpr(fmt.Sprintf("c%d", i), carry)
+		if err != nil {
+			return nil, err
+		}
+		carry = techmap.Var(cNet)
+	}
+	cOut, err := m.MapRegistered("cout", carry, clk)
+	if err != nil {
+		return nil, err
+	}
+	outs = append(outs, cOut)
+	return outs, nil
+}
+
+// BinaryFIR is a binary-coefficient FIR filter on a 1-bit input stream:
+// a Taps-deep delay line; output bits give the registered sum (popcount) of
+// the delayed samples selected by Coeff. Inputs: x. Outputs: y0..y(W-1)
+// where W = ceil(log2(ones(Coeff)+1)).
+type BinaryFIR struct {
+	Taps  int
+	Coeff uint64 // bit i set: tap i participates
+}
+
+func (f BinaryFIR) Name() string   { return fmt.Sprintf("fir%d_%x", f.Taps, f.Coeff) }
+func (f BinaryFIR) NumInputs() int { return 1 }
+
+func (f BinaryFIR) sumWidth() int {
+	ones := 0
+	for i := 0; i < f.Taps; i++ {
+		if f.Coeff>>i&1 == 1 {
+			ones++
+		}
+	}
+	w := 1
+	for 1<<w <= ones {
+		w++
+	}
+	return w
+}
+
+func (f BinaryFIR) NumOutputs() int { return f.sumWidth() }
+
+func (f BinaryFIR) Build(d *netlist.Design, prefix string, clk *netlist.Net, ins []*netlist.Net) ([]*netlist.Net, error) {
+	if f.Taps < 1 || f.Taps > 64 {
+		return nil, fmt.Errorf("designs: FIR taps %d out of range", f.Taps)
+	}
+	if len(ins) != 1 {
+		return nil, fmt.Errorf("designs: FIR needs exactly the x input")
+	}
+	if f.Coeff == 0 {
+		return nil, fmt.Errorf("designs: FIR with all-zero coefficients")
+	}
+	// Delay line.
+	delayed := make([]*netlist.Net, f.Taps)
+	prev := ins[0]
+	for i := 0; i < f.Taps; i++ {
+		ff, err := d.AddDFF(fmt.Sprintf("%sz%d", prefix, i), prev, clk, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		delayed[i] = ff.Out
+		prev = ff.Out
+	}
+	// Popcount of selected taps via a LUT adder tree: sum pairs of bits
+	// into 2-bit values, then add. We build it as W parallel sum-bit
+	// expressions; techmap decomposes them.
+	var sel []*netlist.Net
+	for i := 0; i < f.Taps; i++ {
+		if f.Coeff>>i&1 == 1 {
+			sel = append(sel, delayed[i])
+		}
+	}
+	m := techmap.NewMapper(d, prefix)
+	sums, err := popcount(m, sel)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*netlist.Net, len(sums))
+	for i, s := range sums {
+		ff, err := d.AddDFF(fmt.Sprintf("%sy%d", prefix, i), s, clk, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = ff.Out
+	}
+	if len(outs) != f.sumWidth() {
+		return nil, fmt.Errorf("designs: FIR popcount width %d, expected %d", len(outs), f.sumWidth())
+	}
+	return outs, nil
+}
+
+// popcount sums 1-bit nets into a binary vector using 3:2 LUT compressors.
+func popcount(m *techmap.Mapper, bits []*netlist.Net) ([]*netlist.Net, error) {
+	// ranks[i] holds nets of weight 2^i.
+	ranks := [][]*netlist.Net{append([]*netlist.Net(nil), bits...)}
+	serial := 0
+	for i := 0; i < len(ranks); i++ {
+		for len(ranks[i]) > 1 {
+			take := min(3, len(ranks[i]))
+			group := ranks[i][:take]
+			ranks[i] = ranks[i][take:]
+			exprs := make([]techmap.Expr, take)
+			for k, n := range group {
+				exprs[k] = techmap.Var(n)
+			}
+			serial++
+			sumNet, err := m.MapExpr(fmt.Sprintf("pc_s%d", serial), techmap.Xor(exprs...))
+			if err != nil {
+				return nil, err
+			}
+			ranks[i] = append(ranks[i], sumNet)
+			if take >= 2 {
+				var carryExpr techmap.Expr
+				if take == 2 {
+					carryExpr = techmap.And(exprs[0], exprs[1])
+				} else {
+					carryExpr = techmap.Or(
+						techmap.And(exprs[0], exprs[1]),
+						techmap.And(exprs[0], exprs[2]),
+						techmap.And(exprs[1], exprs[2]))
+				}
+				carryNet, err := m.MapExpr(fmt.Sprintf("pc_c%d", serial), carryExpr)
+				if err != nil {
+					return nil, err
+				}
+				if i+1 == len(ranks) {
+					ranks = append(ranks, nil)
+				}
+				ranks[i+1] = append(ranks[i+1], carryNet)
+			}
+		}
+	}
+	out := make([]*netlist.Net, len(ranks))
+	for i, r := range ranks {
+		if len(r) != 1 {
+			return nil, fmt.Errorf("designs: popcount rank %d has %d nets", i, len(r))
+		}
+		out[i] = r[0]
+	}
+	return out, nil
+}
+
+// StringMatcher streams 8-bit characters and raises its output for one cycle
+// when the last len(Pattern) characters equal Pattern — the self-
+// reconfiguring string-matching workload the paper's motivation cites.
+// Inputs: c0..c7 (character). Outputs: match.
+type StringMatcher struct{ Pattern string }
+
+func (s StringMatcher) Name() string    { return fmt.Sprintf("strmatch%d", len(s.Pattern)) }
+func (s StringMatcher) NumInputs() int  { return 8 }
+func (s StringMatcher) NumOutputs() int { return 1 }
+
+func (s StringMatcher) Build(d *netlist.Design, prefix string, clk *netlist.Net, ins []*netlist.Net) ([]*netlist.Net, error) {
+	if len(s.Pattern) == 0 {
+		return nil, fmt.Errorf("designs: empty pattern")
+	}
+	if len(ins) != 8 {
+		return nil, fmt.Errorf("designs: string matcher needs the 8-bit character input")
+	}
+	m := techmap.NewMapper(d, prefix)
+	var prevMatch *netlist.Net
+	for i := 0; i < len(s.Pattern); i++ {
+		eq := techmap.Eq(ins, uint64(s.Pattern[i]))
+		var stage techmap.Expr = eq
+		if prevMatch != nil {
+			stage = techmap.And(eq, techmap.Var(prevMatch))
+		}
+		q, err := m.MapRegistered(fmt.Sprintf("m%d", i), stage, clk)
+		if err != nil {
+			return nil, err
+		}
+		prevMatch = q
+	}
+	return []*netlist.Net{prevMatch}, nil
+}
+
+// SBoxBank is a bank of N random 4-input substitution boxes sharing a 4-bit
+// address, each output registered — a stand-in for the LUT-dense crypto
+// cores run-time reconfiguration papers use. Inputs: a0..a3.
+// Outputs: N substitution bits.
+type SBoxBank struct {
+	N    int
+	Seed int64
+}
+
+func (s SBoxBank) Name() string    { return fmt.Sprintf("sbox%d_s%d", s.N, s.Seed) }
+func (s SBoxBank) NumInputs() int  { return 4 }
+func (s SBoxBank) NumOutputs() int { return s.N }
+
+func (s SBoxBank) Build(d *netlist.Design, prefix string, clk *netlist.Net, ins []*netlist.Net) ([]*netlist.Net, error) {
+	if s.N < 1 {
+		return nil, fmt.Errorf("designs: sbox bank needs N >= 1")
+	}
+	if len(ins) != 4 {
+		return nil, fmt.Errorf("designs: sbox bank needs the 4-bit address input")
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	outs := make([]*netlist.Net, s.N)
+	for i := 0; i < s.N; i++ {
+		lut, err := d.AddLUT(fmt.Sprintf("%ssbox%d", prefix, i), uint16(rng.Intn(1<<16)), ins...)
+		if err != nil {
+			return nil, err
+		}
+		ff, err := d.AddDFF(fmt.Sprintf("%ssq%d", prefix, i), lut.Out, clk, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = ff.Out
+	}
+	return outs, nil
+}

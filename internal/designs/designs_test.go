@@ -1,0 +1,332 @@
+package designs
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func TestCounterCounts(t *testing.T) {
+	d, err := Standalone(Counter{Bits: 5}, "cnt", "u/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Eval()
+	for cyc := 0; cyc < 70; cyc++ {
+		got, err := s.OutputVec("out", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(cyc % 32); got != want {
+			t.Fatalf("cycle %d: counter=%d want %d", cyc, got, want)
+		}
+		s.Step()
+	}
+}
+
+func TestLFSRMatchesSoftwareModel(t *testing.T) {
+	g := LFSR{Bits: 8, Taps: []int{7, 5, 4, 3}}
+	d, err := Standalone(g, "lfsr", "u/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Software model with the same seeding (even bits start at 1).
+	var state uint64
+	for i := 0; i < 8; i += 2 {
+		state |= 1 << i
+	}
+	step := func() {
+		fb := uint64(0)
+		for _, tp := range g.Taps {
+			fb ^= state >> tp & 1
+		}
+		state = (state<<1 | fb) & 0xFF
+	}
+	s.Eval()
+	for cyc := 0; cyc < 300; cyc++ {
+		got, err := s.OutputVec("out", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != state {
+			t.Fatalf("cycle %d: lfsr=%02x want %02x", cyc, got, state)
+		}
+		s.Step()
+		step()
+	}
+}
+
+func TestAdderAdds(t *testing.T) {
+	d, err := Standalone(RippleAdder{Bits: 4}, "add", "u/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			if err := s.SetInputVec("in", 8, a|b<<4); err != nil {
+				t.Fatal(err)
+			}
+			s.Step() // registered output
+			got, err := s.OutputVec("out", 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != a+b {
+				t.Fatalf("%d+%d = %d", a, b, got)
+			}
+		}
+	}
+}
+
+func TestBinaryFIRPopcount(t *testing.T) {
+	g := BinaryFIR{Taps: 6, Coeff: 0b101101}
+	d, err := Standalone(g, "fir", "u/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []uint64{1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 1, 0, 1, 1, 0, 0}
+	var hist []uint64
+	for cyc, x := range inputs {
+		if err := s.SetInput("in0", x == 1); err != nil {
+			t.Fatal(err)
+		}
+		s.Step()
+		hist = append([]uint64{x}, hist...)
+		// Output: registered popcount of the delay line one cycle earlier.
+		// After this Step, delay line holds hist[0..Taps-1]; output FF holds
+		// popcount computed from the delay line *before* this edge.
+		if cyc < g.Taps+1 {
+			continue
+		}
+		want := uint64(0)
+		for i := 0; i < g.Taps; i++ {
+			if g.Coeff>>i&1 == 1 && hist[i+1] == 1 {
+				want++
+			}
+		}
+		got, err := s.OutputVec("out", g.NumOutputs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("cycle %d: fir=%d want %d (hist %v)", cyc, got, want, hist)
+		}
+	}
+}
+
+func TestStringMatcher(t *testing.T) {
+	d, err := Standalone(StringMatcher{Pattern: "abc"}, "sm", "u/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := "xxabcabxabc"
+	var matches []int
+	for i := 0; i < len(stream); i++ {
+		if err := s.SetInputVec("in", 8, uint64(stream[i])); err != nil {
+			t.Fatal(err)
+		}
+		s.Step()
+		if m, _ := s.Output("out0"); m {
+			matches = append(matches, i)
+		}
+	}
+	// Matches complete at the cycle consuming the final pattern char:
+	// positions of 'c' in "abc" occurrences: indices 4 and 10.
+	want := []int{4, 10}
+	if fmt.Sprint(matches) != fmt.Sprint(want) {
+		t.Fatalf("matches at %v, want %v", matches, want)
+	}
+}
+
+func TestSBoxBankDeterministicAndCorrect(t *testing.T) {
+	g := SBoxBank{N: 6, Seed: 42}
+	d1, err := Standalone(g, "sb1", "u/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Standalone(g, "sb2", "u/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Determinism: same seed, same tables.
+	for i := 0; i < g.N; i++ {
+		c1, _ := d1.Cell(fmt.Sprintf("u/sbox%d", i))
+		c2, _ := d2.Cell(fmt.Sprintf("u/sbox%d", i))
+		if c1 == nil || c2 == nil || c1.Init != c2.Init {
+			t.Fatalf("sbox %d differs across builds", i)
+		}
+	}
+	s, err := sim.New(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		if err := s.SetInputVec("in", 4, a); err != nil {
+			t.Fatal(err)
+		}
+		s.Step()
+		got, err := s.OutputVec("out", g.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want uint64
+		for i := 0; i < g.N; i++ {
+			c, _ := d1.Cell(fmt.Sprintf("u/sbox%d", i))
+			if c.Init>>a&1 == 1 {
+				want |= 1 << i
+			}
+		}
+		if got != want {
+			t.Fatalf("addr %d: sbox out %06b want %06b", a, got, want)
+		}
+	}
+}
+
+func TestBaseDesignComposition(t *testing.T) {
+	base, err := BaseDesign("base", []Instance{
+		{Prefix: "u1/", Gen: Counter{Bits: 4}},
+		{Prefix: "u2/", Gen: SBoxBank{N: 4, Seed: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Ports: clk + u1 4 outs + u2 4 ins + 4 outs.
+	if got := len(base.Ports); got != 13 {
+		t.Fatalf("base ports = %d, want 13", got)
+	}
+	s, err := sim.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInputVec("u2_in", 4, 5)
+	for i := 0; i < 3; i++ {
+		s.Step()
+	}
+	v, err := s.OutputVec("u1_out", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Fatalf("counter inside base design = %d, want 3", v)
+	}
+}
+
+func TestBaseDesignRejectsBadPrefix(t *testing.T) {
+	if _, err := BaseDesign("b", []Instance{{Prefix: "u1", Gen: Counter{Bits: 2}}}); err == nil {
+		t.Fatal("prefix without slash accepted")
+	}
+	if _, err := BaseDesign("b", nil); err == nil {
+		t.Fatal("empty base design accepted")
+	}
+}
+
+func TestInterfaceCompatible(t *testing.T) {
+	if !InterfaceCompatible(Counter{Bits: 4}, LFSR{Bits: 4}) {
+		t.Fatal("counter4 and lfsr4 should be interchangeable")
+	}
+	if InterfaceCompatible(Counter{Bits: 4}, Counter{Bits: 5}) {
+		t.Fatal("different widths reported compatible")
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	cases := []Generator{
+		Counter{Bits: 0},
+		LFSR{Bits: 1},
+		LFSR{Bits: 4, Taps: []int{9}},
+		RippleAdder{Bits: 0},
+		BinaryFIR{Taps: 0, Coeff: 1},
+		BinaryFIR{Taps: 4, Coeff: 0},
+		StringMatcher{Pattern: ""},
+		SBoxBank{N: 0},
+	}
+	for _, g := range cases {
+		if _, err := Standalone(g, "bad", "u/"); err == nil {
+			t.Errorf("%s: invalid parameters accepted", g.Name())
+		}
+	}
+}
+
+func TestFIRSumWidth(t *testing.T) {
+	for _, tc := range []struct {
+		coeff uint64
+		want  int
+	}{{0b1, 1}, {0b11, 2}, {0b111, 2}, {0b1111, 3}, {0xFF, 4}} {
+		g := BinaryFIR{Taps: 8, Coeff: tc.coeff}
+		if got := g.NumOutputs(); got != tc.want {
+			t.Errorf("coeff %b (%d ones): width %d, want %d",
+				tc.coeff, bits.OnesCount64(tc.coeff), got, tc.want)
+		}
+	}
+}
+
+func TestBuildRejectsWrongInputArity(t *testing.T) {
+	d := netlistNew(t)
+	clk := mustPort(t, d, "clk")
+	cases := []Generator{
+		RippleAdder{Bits: 4},
+		BinaryFIR{Taps: 4, Coeff: 0xF},
+		StringMatcher{Pattern: "a"},
+		SBoxBank{N: 2, Seed: 1},
+	}
+	for _, g := range cases {
+		// One net short of the declared interface.
+		ins := makeNets(d, g.NumInputs()-1)
+		if _, err := g.Build(d, "w/", clk, ins); err == nil {
+			t.Errorf("%s accepted %d inputs (wants %d)", g.Name(), len(ins), g.NumInputs())
+		}
+	}
+}
+
+func netlistNew(t *testing.T) *netlist.Design {
+	t.Helper()
+	d := netlist.NewDesign("arity")
+	if _, err := d.AddPort("clk", netlist.In, nil); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mustPort(t *testing.T, d *netlist.Design, name string) *netlist.Net {
+	t.Helper()
+	p, ok := d.Port(name)
+	if !ok {
+		t.Fatalf("port %q missing", name)
+	}
+	return p.Net
+}
+
+func makeNets(d *netlist.Design, n int) []*netlist.Net {
+	out := make([]*netlist.Net, 0, max(0, n))
+	for i := 0; i < n; i++ {
+		p, _ := d.AddPort(fmt.Sprintf("x%d_%d", len(d.Ports), i), netlist.In, nil)
+		out = append(out, p.Net)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package designs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds a generator from a textual specification, the form the
+// command-line tools and examples use:
+//
+//	counter:bits=8
+//	lfsr:bits=6,taps=5.2
+//	adder:bits=4
+//	fir:taps=8,coeff=0xB7
+//	strmatch:pattern=abc
+//	sbox:n=8,seed=3
+func ParseSpec(spec string) (Generator, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	params := map[string]string{}
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("designs: bad parameter %q in spec %q", kv, spec)
+			}
+			params[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+	}
+	getInt := func(key string, def int) (int, error) {
+		v, ok := params[key]
+		if !ok {
+			return def, nil
+		}
+		n, err := strconv.ParseInt(v, 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("designs: spec %q: bad %s %q", spec, key, v)
+		}
+		delete(params, key)
+		return int(n), nil
+	}
+	var gen Generator
+	var err error
+	switch strings.TrimSpace(kind) {
+	case "counter":
+		var bits int
+		if bits, err = getInt("bits", 8); err == nil {
+			gen = Counter{Bits: bits}
+		}
+	case "lfsr":
+		var bits int
+		if bits, err = getInt("bits", 8); err == nil {
+			var taps []int
+			if ts, ok := params["taps"]; ok {
+				delete(params, "taps")
+				for _, t := range strings.Split(ts, ".") {
+					n, terr := strconv.Atoi(t)
+					if terr != nil {
+						return nil, fmt.Errorf("designs: spec %q: bad tap %q", spec, t)
+					}
+					taps = append(taps, n)
+				}
+			}
+			gen = LFSR{Bits: bits, Taps: taps}
+		}
+	case "adder":
+		var bits int
+		if bits, err = getInt("bits", 4); err == nil {
+			gen = RippleAdder{Bits: bits}
+		}
+	case "fir":
+		var taps, coeff int
+		if taps, err = getInt("taps", 8); err == nil {
+			if coeff, err = getInt("coeff", 0xB7); err == nil {
+				gen = BinaryFIR{Taps: taps, Coeff: uint64(coeff)}
+			}
+		}
+	case "strmatch":
+		p, ok := params["pattern"]
+		if !ok {
+			return nil, fmt.Errorf("designs: spec %q needs pattern=", spec)
+		}
+		delete(params, "pattern")
+		gen = StringMatcher{Pattern: p}
+	case "sbox":
+		var n, seed int
+		if n, err = getInt("n", 8); err == nil {
+			if seed, err = getInt("seed", 1); err == nil {
+				gen = SBoxBank{N: n, Seed: int64(seed)}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("designs: unknown module kind %q (want counter, lfsr, adder, fir, strmatch, sbox)", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(params) != 0 {
+		return nil, fmt.Errorf("designs: spec %q has unknown parameters %v", spec, keys(params))
+	}
+	return gen, nil
+}
+
+// ParseInstanceSpecs parses a partitioned-design specification:
+//
+//	u1/=counter:bits=6;u2/=sbox:n=8,seed=3
+func ParseInstanceSpecs(spec string) ([]Instance, error) {
+	var out []Instance
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		prefix, genSpec, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("designs: instance spec %q wants prefix=module", part)
+		}
+		gen, err := ParseSpec(genSpec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Instance{Prefix: prefix, Gen: gen})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("designs: empty instance specification")
+	}
+	return out, nil
+}
+
+func keys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

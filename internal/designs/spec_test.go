@@ -1,0 +1,62 @@
+package designs
+
+import "testing"
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Generator
+	}{
+		{"counter:bits=6", Counter{Bits: 6}},
+		{"counter", Counter{Bits: 8}},
+		{"adder:bits=4", RippleAdder{Bits: 4}},
+		{"fir:taps=8,coeff=0xB7", BinaryFIR{Taps: 8, Coeff: 0xB7}},
+		{"strmatch:pattern=abc", StringMatcher{Pattern: "abc"}},
+		{"sbox:n=8,seed=3", SBoxBank{N: 8, Seed: 3}},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if got.Name() != tc.want.Name() {
+			t.Errorf("ParseSpec(%q) = %s, want %s", tc.spec, got.Name(), tc.want.Name())
+		}
+	}
+	// LFSR taps.
+	g, err := ParseSpec("lfsr:bits=6,taps=5.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := g.(LFSR)
+	if !ok || l.Bits != 6 || len(l.Taps) != 2 || l.Taps[0] != 5 || l.Taps[1] != 2 {
+		t.Fatalf("lfsr spec parsed to %+v", g)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"warp:drive=9", "counter:bits=x", "counter:bogus=1", "strmatch",
+		"lfsr:bits=6,taps=a.b", "counter:bits", "fir:coeff=zz",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseInstanceSpecs(t *testing.T) {
+	insts, err := ParseInstanceSpecs("u1/=counter:bits=6; u2/=sbox:n=8,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 2 || insts[0].Prefix != "u1/" || insts[1].Prefix != "u2/" {
+		t.Fatalf("instances = %+v", insts)
+	}
+	for _, bad := range []string{"", "u1/counter", "u1/=warp"} {
+		if _, err := ParseInstanceSpecs(bad); err == nil {
+			t.Errorf("ParseInstanceSpecs(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package device
+
+import "fmt"
+
+// Block RAM. Original Virtex devices carry two columns of block SELECT-RAM,
+// one along each vertical edge; each block spans four CLB rows and stores
+// 4096 bits. Content lives in the two block type 1 ("BRAM content") majors.
+//
+// Layout (this package's deterministic assignment): content bit i of block b
+// in column side s (0 = left, 1 = right) lives at
+//
+//	FAR(BlockBRAM, s, minor = i/64), frame bit = b*72 + i%64
+//
+// 64 minors x 64 bits cover the 4096 bits per block; blocks stack at 72-bit
+// stride so Rows/4 blocks fit the 18*(Rows+2)-bit frames exactly.
+
+// BRAMBitsPerBlock is the content capacity of one block (4096 bits,
+// addressable as 256 x 16).
+const (
+	BRAMBitsPerBlock  = 4096
+	BRAMWordsPerBlock = 256
+	BRAMWordBits      = 16
+	bramBlockStride   = 72
+)
+
+// BRAMBlocksPerColumn returns the blocks stacked in one BRAM column.
+func (p *Part) BRAMBlocksPerColumn() int { return p.Rows / 4 }
+
+// NumBRAMBlocks returns the device's total block count (two columns).
+func (p *Part) NumBRAMBlocks() int { return 2 * p.BRAMBlocksPerColumn() }
+
+// BRAMBits returns the device's total block-RAM capacity in bits.
+func (p *Part) BRAMBits() int { return p.NumBRAMBlocks() * BRAMBitsPerBlock }
+
+// ValidBRAM reports whether (side, block) names a block on this part.
+func (p *Part) ValidBRAM(side, block int) bool {
+	return (side == 0 || side == 1) && block >= 0 && block < p.BRAMBlocksPerColumn()
+}
+
+// BRAMBit returns the configuration-bit coordinate of content bit i of the
+// given block.
+func (p *Part) BRAMBit(side, block, i int) BitCoord {
+	if !p.ValidBRAM(side, block) || i < 0 || i >= BRAMBitsPerBlock {
+		panic(fmt.Sprintf("device: bad BRAM bit (side=%d block=%d i=%d) on %s", side, block, i, p.Name))
+	}
+	return BitCoord{
+		FAR: MakeFAR(BlockBRAM, side, i/64),
+		Bit: block*bramBlockStride + i%64,
+	}
+}
+
+// BRAMColumnFARs returns every content frame of one BRAM column, the set a
+// BRAM-content partial bitstream carries.
+func (p *Part) BRAMColumnFARs(side int) []FAR {
+	fars := make([]FAR, 0, FramesBRAMCol)
+	for minor := 0; minor < FramesBRAMCol; minor++ {
+		fars = append(fars, MakeFAR(BlockBRAM, side, minor))
+	}
+	return fars
+}

@@ -1,0 +1,189 @@
+package device
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Graph is the routing graph of a part: forward adjacency over all PIPs.
+// Building it touches every tile, so graphs are cached per part; routers for
+// small parts pay ~milliseconds, the largest parts tens of milliseconds.
+type Graph struct {
+	Part *Part
+	// adjacency in CSR form: edges out of node n are
+	// pips[start[n]:start[n+1]].
+	start []int32
+	pips  []PIP
+}
+
+var (
+	graphMu    sync.Mutex
+	graphCache = map[string]*Graph{}
+)
+
+// NewGraph builds (or returns a cached) routing graph for the part.
+func NewGraph(p *Part) *Graph {
+	graphMu.Lock()
+	defer graphMu.Unlock()
+	if g, ok := graphCache[p.Name]; ok {
+		return g
+	}
+	g := buildGraph(p)
+	graphCache[p.Name] = g
+	return g
+}
+
+// NewGraphUncached builds a fresh graph, bypassing the cache (benchmarks).
+func NewGraphUncached(p *Part) *Graph { return buildGraph(p) }
+
+func buildGraph(p *Part) *Graph {
+	counts := make([]int32, p.NumNodes()+1)
+	var all []PIP
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			tp := p.TilePIPs(r, c)
+			all = append(all, tp...)
+			for _, pip := range tp {
+				counts[pip.Src+1]++
+			}
+		}
+	}
+	start := make([]int32, p.NumNodes()+1)
+	for i := 1; i < len(start); i++ {
+		start[i] = start[i-1] + counts[i]
+	}
+	pips := make([]PIP, len(all))
+	cursor := make([]int32, p.NumNodes())
+	copy(cursor, start[:len(cursor)])
+	for _, pip := range all {
+		pips[cursor[pip.Src]] = pip
+		cursor[pip.Src]++
+	}
+	return &Graph{Part: p, start: start, pips: pips}
+}
+
+// From returns the PIPs whose source is node n. The returned slice aliases
+// the graph's storage and must not be modified.
+func (g *Graph) From(n NodeID) []PIP {
+	return g.pips[g.start[n]:g.start[n+1]]
+}
+
+// FindPIP looks up a PIP by owning tile and endpoints using the prebuilt
+// adjacency — much faster than Part.FindPIP, which re-enumerates the tile
+// catalog on every call.
+func (g *Graph) FindPIP(row, col int, src, dst NodeID) (PIP, bool) {
+	for _, pip := range g.From(src) {
+		if pip.Dst == dst && pip.Row == row && pip.Col == col {
+			return pip, true
+		}
+	}
+	return PIP{}, false
+}
+
+// NumPIPs returns the total number of PIPs on the part.
+func (g *Graph) NumPIPs() int { return len(g.pips) }
+
+// ParseNode parses a node name produced by Part.NodeName. thisTile supplies
+// the tile for unqualified per-tile wire names (e.g. "E2" meaning the wire of
+// the tile a pip statement is anchored at); pass row=-1 to forbid them.
+func (p *Part) ParseNode(name string, thisRow, thisCol int) (NodeID, error) {
+	switch {
+	case strings.HasPrefix(name, "GLB"):
+		g, err := strconv.Atoi(name[3:])
+		if err != nil || g < 0 || g >= NumGlobals {
+			return 0, fmt.Errorf("device: bad global node %q", name)
+		}
+		return p.GlobalNode(g), nil
+
+	case strings.HasPrefix(name, "ROW"):
+		base, line, ok := strings.Cut(name, ".")
+		if !ok || !strings.HasPrefix(line, "HL") {
+			return 0, fmt.Errorf("device: bad row-long node %q", name)
+		}
+		r, err1 := strconv.Atoi(base[3:])
+		j, err2 := strconv.Atoi(line[2:])
+		if err1 != nil || err2 != nil || r < 1 || r > p.Rows || j < 0 || j >= NumLongPerRow {
+			return 0, fmt.Errorf("device: bad row-long node %q", name)
+		}
+		return p.RowLongNode(r-1, j), nil
+
+	case strings.HasPrefix(name, "COL"):
+		base, line, ok := strings.Cut(name, ".")
+		if !ok || !strings.HasPrefix(line, "VL") {
+			return 0, fmt.Errorf("device: bad col-long node %q", name)
+		}
+		c, err1 := strconv.Atoi(base[3:])
+		j, err2 := strconv.Atoi(line[2:])
+		if err1 != nil || err2 != nil || c < 1 || c > p.Cols || j < 0 || j >= NumLongPerCol {
+			return 0, fmt.Errorf("device: bad col-long node %q", name)
+		}
+		return p.ColLongNode(c-1, j), nil
+
+	case strings.HasPrefix(name, "P_"):
+		padName, side, ok := strings.Cut(name, ".")
+		if !ok {
+			return 0, fmt.Errorf("device: pad node %q missing .I/.O", name)
+		}
+		pd, err := ParsePad(padName)
+		if err != nil {
+			return 0, err
+		}
+		if !p.ValidPad(pd) {
+			return 0, fmt.Errorf("device: pad %q not on %s", padName, p.Name)
+		}
+		switch side {
+		case "I":
+			return p.PadNodeI(pd), nil
+		case "O":
+			return p.PadNodeO(pd), nil
+		}
+		return 0, fmt.Errorf("device: bad pad side in %q", name)
+
+	case strings.HasPrefix(name, "R") && strings.Contains(name, "."):
+		tile, wire, _ := strings.Cut(name, ".")
+		r, c, err := ParseTileName(tile)
+		if err != nil {
+			return 0, err
+		}
+		if r >= p.Rows || c >= p.Cols {
+			return 0, fmt.Errorf("device: tile %q out of range for %s", tile, p.Name)
+		}
+		w, ok := WireByName(wire)
+		if !ok {
+			return 0, fmt.Errorf("device: unknown wire %q in %q", wire, name)
+		}
+		return p.TileWireNode(r, c, w), nil
+
+	default: // unqualified per-tile wire
+		if thisRow < 0 {
+			return 0, fmt.Errorf("device: unqualified wire %q with no anchor tile", name)
+		}
+		w, ok := WireByName(name)
+		if !ok {
+			return 0, fmt.Errorf("device: unknown wire %q", name)
+		}
+		return p.TileWireNode(thisRow, thisCol, w), nil
+	}
+}
+
+// ParseTileName parses "R3C23" into 0-based (row, col).
+func ParseTileName(s string) (row, col int, err error) {
+	if !strings.HasPrefix(s, "R") {
+		return 0, 0, fmt.Errorf("device: bad tile name %q", s)
+	}
+	rs, cs, ok := strings.Cut(s[1:], "C")
+	if !ok {
+		return 0, 0, fmt.Errorf("device: bad tile name %q", s)
+	}
+	r, err1 := strconv.Atoi(rs)
+	c, err2 := strconv.Atoi(cs)
+	if err1 != nil || err2 != nil || r < 1 || c < 1 {
+		return 0, 0, fmt.Errorf("device: bad tile name %q", s)
+	}
+	return r - 1, c - 1, nil
+}
+
+// TileName renders 0-based (row, col) as "R{row+1}C{col+1}".
+func TileName(row, col int) string { return fmt.Sprintf("R%dC%d", row+1, col+1) }

@@ -1,0 +1,50 @@
+package device
+
+// NodeKind classifies routing nodes for tools that need structural
+// information (e.g. region-constrained routing).
+type NodeKind int
+
+const (
+	NodeWire    NodeKind = iota // a per-tile wire: A=row, B=col, C=wire
+	NodeRowLong                 // a row long line: A=row, C=index
+	NodeColLong                 // a column long line: B=col, C=index
+	NodeGlobal                  // a global line: C=index
+	NodePadI                    // pad fabric-driving node: pad via PadOf
+	NodePadO                    // pad fabric-driven node: pad via PadOf
+	NodeInvalid
+)
+
+// NodeDesc describes a node structurally.
+type NodeDesc struct {
+	Kind    NodeKind
+	A, B, C int // row, col, index as applicable
+	Pad     Pad
+}
+
+// DescribeNode classifies a node.
+func (p *Part) DescribeNode(n NodeID) NodeDesc {
+	in := int(n)
+	switch {
+	case in < 0:
+		return NodeDesc{Kind: NodeInvalid}
+	case in < p.rowLongBase():
+		t, w := in/WiresPerTile, in%WiresPerTile
+		return NodeDesc{Kind: NodeWire, A: t / p.Cols, B: t % p.Cols, C: w}
+	case in < p.colLongBase():
+		i := in - p.rowLongBase()
+		return NodeDesc{Kind: NodeRowLong, A: i / NumLongPerRow, C: i % NumLongPerRow}
+	case in < p.globalBase():
+		i := in - p.colLongBase()
+		return NodeDesc{Kind: NodeColLong, B: i / NumLongPerCol, C: i % NumLongPerCol}
+	case in < p.padBase():
+		return NodeDesc{Kind: NodeGlobal, C: in - p.globalBase()}
+	case in < p.NumNodes():
+		i := in - p.padBase()
+		kind := NodePadI
+		if i%2 == 1 {
+			kind = NodePadO
+		}
+		return NodeDesc{Kind: kind, Pad: p.padAt(i / 2)}
+	}
+	return NodeDesc{Kind: NodeInvalid}
+}

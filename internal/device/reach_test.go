@@ -1,0 +1,75 @@
+package device
+
+import "testing"
+
+// TestFullReachability guards against connectivity holes in the PIP catalog
+// (e.g. parity classes closed under switchbox turns): from any slice output
+// pin — including the worst corner cases — every fabric-routable input pin
+// and every output pad on the device must be reachable.
+func TestFullReachability(t *testing.T) {
+	p := MustByName("XCV50")
+	g := NewGraph(p)
+
+	bfs := func(start NodeID) []bool {
+		reached := make([]bool, p.NumNodes())
+		reached[start] = true
+		queue := []NodeID{start}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, pip := range g.From(cur) {
+				if !reached[pip.Dst] {
+					reached[pip.Dst] = true
+					queue = append(queue, pip.Dst)
+				}
+			}
+		}
+		return reached
+	}
+
+	// Collect every fabric-routable sink: data/CE/SR input pins (CLK pins
+	// are global-only by design) and pad output nodes.
+	var sinks []NodeID
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			for s := 0; s < 2; s++ {
+				for k := 0; k < InPinsPerSlice; k++ {
+					if k == PinCLK {
+						continue
+					}
+					sinks = append(sinks, p.TileWireNode(r, c, InPinWire(s, k)))
+				}
+			}
+		}
+	}
+	for i := 0; i < p.NumPads(); i++ {
+		sinks = append(sinks, p.PadNodeO(p.padAt(i)))
+	}
+
+	sources := []NodeID{}
+	for _, tile := range [][2]int{{0, 0}, {0, p.Cols - 1}, {p.Rows - 1, 0}, {p.Rows - 1, p.Cols - 1}, {p.Rows / 2, p.Cols / 2}} {
+		for o := 0; o < NumOutsPerTile; o++ {
+			sources = append(sources, p.TileWireNode(tile[0], tile[1], WireOutBase+o))
+		}
+	}
+	// Pad inputs must also reach everything.
+	sources = append(sources, p.PadNodeI(Pad{EdgeL, 0}), p.PadNodeI(Pad{EdgeT, p.Cols - 1}))
+
+	for _, src := range sources {
+		reached := bfs(src)
+		missing := 0
+		var firstMiss NodeID = -1
+		for _, s := range sinks {
+			if !reached[s] {
+				missing++
+				if firstMiss < 0 {
+					firstMiss = s
+				}
+			}
+		}
+		if missing > 0 {
+			t.Errorf("from %s: %d sinks unreachable (first: %s)",
+				p.NodeName(src), missing, p.NodeName(firstMiss))
+		}
+	}
+}

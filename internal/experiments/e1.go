@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/flow"
+)
+
+// RegionSpec is one reconfigurable region with its interface-compatible
+// variants. The first variant is the base design's.
+type RegionSpec struct {
+	Prefix   string
+	Variants []designs.Generator
+}
+
+// Fig4Scenario returns the paper's Figure 4 partitioning: three regions with
+// 3, 3 and 4 module variants (3 x 3 x 4 = 36 combinations).
+func Fig4Scenario() []RegionSpec {
+	return []RegionSpec{
+		{Prefix: "u1/", Variants: []designs.Generator{
+			designs.Counter{Bits: 6},
+			designs.LFSR{Bits: 6, Taps: []int{5, 0}},
+			designs.LFSR{Bits: 6, Taps: []int{5, 2, 1, 0}},
+		}},
+		{Prefix: "u2/", Variants: []designs.Generator{
+			designs.SBoxBank{N: 8, Seed: 11},
+			designs.SBoxBank{N: 8, Seed: 22},
+			designs.SBoxBank{N: 8, Seed: 33},
+		}},
+		{Prefix: "u3/", Variants: []designs.Generator{
+			designs.BinaryFIR{Taps: 8, Coeff: 0xB7}, // 6 ones -> 3 output bits
+			designs.BinaryFIR{Taps: 8, Coeff: 0x7E}, // 6 ones
+			designs.BinaryFIR{Taps: 8, Coeff: 0xDB}, // 6 ones
+			designs.BinaryFIR{Taps: 8, Coeff: 0xE7}, // 6 ones
+		}},
+	}
+}
+
+// quickScenario is a shrunken 3 x 3 variant set for fast test runs (9
+// combinations vs 6 variants, preserving the combinatorial advantage).
+func quickScenario() []RegionSpec {
+	full := Fig4Scenario()
+	return []RegionSpec{
+		{Prefix: "u1/", Variants: full[0].Variants},
+		{Prefix: "u2/", Variants: full[1].Variants},
+	}
+}
+
+// E1 reproduces Figure 4 / §4.1: supporting every combination of module
+// variants needs one full CAD run and one complete bitstream per combination
+// under the conventional flow, versus one base build plus one small
+// constrained run and partial bitstream per variant under the JPG flow.
+func E1(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	scenario := Fig4Scenario()
+	if cfg.Quick {
+		scenario = quickScenario()
+	}
+	part, err := device.ByName(cfg.Part)
+	if err != nil {
+		return nil, err
+	}
+
+	combos := 1
+	variants := 0
+	for _, rs := range scenario {
+		combos *= len(rs.Variants)
+		variants += len(rs.Variants)
+	}
+	t := &Table{
+		ID:    "E1",
+		Title: fmt.Sprintf("Figure 4 scenario on %s: %d combinations vs %d partials", part.Name, combos, variants),
+		Claim: "conventional flow: one full CAD run + full bitstream per combination (36); " +
+			"JPG flow: one base + one partial per variant (10), each partial ~1/3 of a full bitstream",
+		Columns: []string{"flow", "CAD runs", "bitstreams", "total bytes", "CAD time", "bytes/switch"},
+	}
+
+	// Conventional flow: every combination is a full implementation.
+	var convTime time.Duration
+	convBytes := 0
+	convRuns := 0
+	for _, combo := range enumerate(scenario) {
+		full, err := flow.BuildFull(part, combo, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+		if err != nil {
+			return nil, fmt.Errorf("E1 conventional: %w", err)
+		}
+		convTime += full.Times.Total()
+		convBytes += len(full.Bitstream)
+		convRuns++
+	}
+
+	// JPG flow: one base build, then one constrained variant run + partial
+	// bitstream per variant.
+	baseInsts := make([]designs.Instance, len(scenario))
+	for i, rs := range scenario {
+		baseInsts[i] = designs.Instance{Prefix: rs.Prefix, Gen: rs.Variants[0]}
+	}
+	base, err := flow.BuildBase(part, baseInsts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+	if err != nil {
+		return nil, fmt.Errorf("E1 base: %w", err)
+	}
+	jpgTime := base.Times.Total()
+	jpgBytes := len(base.Bitstream)
+	jpgRuns := 1
+	proj, err := core.NewProject(base.Bitstream)
+	if err != nil {
+		return nil, err
+	}
+	partialBytes := 0
+	partials := 0
+	for _, rs := range scenario {
+		for vi, gen := range rs.Variants {
+			va, err := flow.BuildVariant(base, rs.Prefix, gen, flow.Options{Seed: cfg.Seed + int64(vi), Effort: cfg.Effort})
+			if err != nil {
+				return nil, fmt.Errorf("E1 variant %s%s: %w", rs.Prefix, gen.Name(), err)
+			}
+			jpgTime += va.Times.Total()
+			jpgRuns++
+			t0 := time.Now()
+			m, err := proj.AddModule(rs.Prefix+gen.Name(), va.XDL, va.UCF)
+			if err != nil {
+				return nil, err
+			}
+			res, err := proj.GeneratePartial(m, core.GenerateOptions{Strict: true})
+			if err != nil {
+				return nil, err
+			}
+			jpgTime += time.Since(t0)
+			partialBytes += len(res.Bitstream)
+			partials++
+		}
+	}
+	jpgBytes += partialBytes
+
+	t.AddRow("conventional", convRuns, convRuns, convBytes, convTime.Round(time.Millisecond).String(),
+		convBytes/convRuns)
+	t.AddRow("JPG partial", jpgRuns, 1+partials, jpgBytes, jpgTime.Round(time.Millisecond).String(),
+		partialBytes/partials)
+
+	fullAvg := float64(convBytes) / float64(convRuns)
+	partAvg := float64(partialBytes) / float64(partials)
+	t.Note("CAD runs: %d conventional vs %d JPG (paper: 36 vs 10+1 base)", convRuns, jpgRuns)
+	t.Note("average partial bitstream is %.2fx the average full bitstream (paper: ~1/3)", partAvg/fullAvg)
+	t.Note("total bytes ratio conventional/JPG = %.2fx", float64(convBytes)/float64(jpgBytes))
+	t.Note("total CAD time ratio conventional/JPG = %.2fx", float64(convTime)/float64(jpgTime))
+	if convRuns <= jpgRuns {
+		t.Note("VERDICT: FAIL (JPG flow did not reduce CAD runs)")
+	} else if float64(convBytes) <= float64(jpgBytes) {
+		t.Note("VERDICT: FAIL (JPG flow did not reduce bitstream volume)")
+	} else {
+		t.Note("VERDICT: PASS (shape matches the paper)")
+	}
+	return t, nil
+}
+
+// enumerate expands the cartesian product of variant choices into full
+// instance lists.
+func enumerate(scenario []RegionSpec) [][]designs.Instance {
+	var out [][]designs.Instance
+	combo := make([]designs.Instance, len(scenario))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(scenario) {
+			out = append(out, append([]designs.Instance(nil), combo...))
+			return
+		}
+		for _, gen := range scenario[i].Variants {
+			combo[i] = designs.Instance{Prefix: scenario[i].Prefix, Gen: gen}
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/flow"
+)
+
+// E4 reproduces §4.1's CAD-time claim: implementing one constrained
+// sub-module is significantly cheaper than implementing the complete design,
+// because place-and-route cost grows superlinearly with design size.
+func E4(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	part, err := device.ByName(cfg.Part)
+	if err != nil {
+		return nil, err
+	}
+	// Port counts bound the sweep: 3 modules of sbox:n=12 need exactly the
+	// 24 columns of an XCV50 for their pads.
+	sizes := []int{4, 8, 12}
+	if cfg.Quick {
+		sizes = []int{4, 8}
+	}
+	t := &Table{
+		ID:    "E4",
+		Title: fmt.Sprintf("CAD time: constrained sub-module vs complete design on %s", part.Name),
+		Claim: "physical-design time for a sub-module in its constrained region is " +
+			"significantly less than for the complete design",
+		Columns: []string{"sbox size", "module LEs", "design LEs", "module P&R", "full P&R", "speedup"},
+	}
+	minSpeedup := 1e9
+	for _, n := range sizes {
+		insts := []designs.Instance{
+			{Prefix: "u1/", Gen: designs.SBoxBank{N: n, Seed: 1}},
+			{Prefix: "u2/", Gen: designs.SBoxBank{N: n, Seed: 2}},
+			{Prefix: "u3/", Gen: designs.SBoxBank{N: n, Seed: 3}},
+		}
+		full, err := flow.BuildFull(part, insts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+		if err != nil {
+			return nil, fmt.Errorf("E4 full n=%d: %w", n, err)
+		}
+		base, err := flow.BuildBase(part, insts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+		if err != nil {
+			return nil, fmt.Errorf("E4 base n=%d: %w", n, err)
+		}
+		variant, err := flow.BuildVariant(base, "u1/", designs.SBoxBank{N: n, Seed: 9}, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+		if err != nil {
+			return nil, fmt.Errorf("E4 variant n=%d: %w", n, err)
+		}
+		fullPR := full.Times.Place + full.Times.Route
+		modPR := variant.Times.Place + variant.Times.Route
+		moduleStats := variant.Netlist.Stats()
+		fullStats := full.Netlist.Stats()
+		speedup := float64(fullPR) / float64(modPR)
+		if speedup < minSpeedup {
+			minSpeedup = speedup
+		}
+		t.AddRow(n, moduleStats.LUTs+moduleStats.DFFs, fullStats.LUTs+fullStats.DFFs,
+			fullFmt(modPR), fullFmt(fullPR), fmt.Sprintf("%.1fx", speedup))
+	}
+	t.Note("minimum module-vs-full P&R speedup = %.1fx", minSpeedup)
+	if minSpeedup > 1.5 {
+		t.Note("VERDICT: PASS (constrained module P&R is significantly cheaper)")
+	} else {
+		t.Note("VERDICT: FAIL (no significant P&R saving)")
+	}
+	return t, nil
+}
+
+func fullFmt(d time.Duration) string { return d.Round(100 * time.Microsecond).String() }

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/flow"
+	"repro/internal/xhwif"
+)
+
+// E7 is an ablation of the design choice DESIGN.md calls out: JPG writes
+// whole-column partial bitstreams (the device's write granularity, and
+// independent of the base design's exact state), whereas a diff-minimal
+// partial (JBitsDiff-style) carries only changed frames but must know the
+// precise base configuration. The experiment quantifies the size/time gap
+// for one module swap.
+func E7(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	part, err := device.ByName(cfg.Part)
+	if err != nil {
+		return nil, err
+	}
+	base, err := flow.BuildBase(part, []designs.Instance{
+		{Prefix: "u1/", Gen: designs.Counter{Bits: 6}},
+		{Prefix: "u2/", Gen: designs.SBoxBank{N: 6, Seed: 3}},
+	}, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+	if err != nil {
+		return nil, err
+	}
+	variant, err := flow.BuildVariant(base, "u1/", designs.LFSR{Bits: 6, Taps: []int{5, 2}}, flow.Options{Seed: cfg.Seed + 1, Effort: cfg.Effort})
+	if err != nil {
+		return nil, err
+	}
+	proj, err := core.NewProject(base.Bitstream)
+	if err != nil {
+		return nil, err
+	}
+	before := proj.Base.Clone()
+	m, err := proj.AddModule("v", variant.XDL, variant.UCF)
+	if err != nil {
+		return nil, err
+	}
+	res, err := proj.GeneratePartial(m, core.GenerateOptions{Strict: true, WriteBack: true})
+	if err != nil {
+		return nil, err
+	}
+	diffFARs, err := proj.Base.Diff(before)
+	if err != nil {
+		return nil, err
+	}
+	minimal, err := bitstream.WritePartialForFARs(proj.Base, diffFARs)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "E7",
+		Title: fmt.Sprintf("ablation: column-region vs diff-minimal partial bitstreams (%s)", part.Name),
+		Claim: "whole-column partials are larger than diff-minimal ones but independent of " +
+			"the base state and aligned with the device's frame-per-column granularity",
+		Columns: []string{"granularity", "frames", "bytes", "download @50MHz", "needs exact base state"},
+	}
+	board := xhwif.NewBoard(part)
+	if _, err := board.Download(base.Bitstream); err != nil {
+		return nil, err
+	}
+	dsCol, err := board.Download(res.Bitstream)
+	if err != nil {
+		return nil, err
+	}
+	dsMin, err := board.Download(minimal)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("column region (JPG)", len(res.FARs), len(res.Bitstream), fmtDur(dsCol.ModelTime), "no")
+	t.AddRow("diff-minimal", len(diffFARs), len(minimal), fmtDur(dsMin.ModelTime), "yes")
+
+	// Third point: column region with MFWR compression (same coverage and
+	// base independence, duplicate frames sent by reference).
+	projC, err := core.NewProject(base.Bitstream)
+	if err != nil {
+		return nil, err
+	}
+	mC, err := projC.AddModule("vc", variant.XDL, variant.UCF)
+	if err != nil {
+		return nil, err
+	}
+	resC, err := projC.GeneratePartial(mC, core.GenerateOptions{Strict: true, Compress: true})
+	if err != nil {
+		return nil, err
+	}
+	dsC, err := board.Download(resC.Bitstream)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("column region + MFWR", len(resC.FARs), len(resC.Bitstream), fmtDur(dsC.ModelTime), "no")
+
+	// Both must land the device in the same state.
+	if !board.Readback().Equal(proj.Base) {
+		t.Note("VERDICT: FAIL (granularities disagree on final device state)")
+		return t, nil
+	}
+	t.Note("size ratio column/minimal = %.1fx; both reach the identical device state",
+		float64(len(res.Bitstream))/float64(len(minimal)))
+	t.Note("VERDICT: PASS")
+	return t, nil
+}

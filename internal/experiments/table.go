@@ -1,0 +1,113 @@
+// Package experiments regenerates the paper's evaluation: each E* function
+// materialises one claim from §2.1/§4.1/Figure 4 as a table (see DESIGN.md's
+// experiment index). The functions are deterministic given their config and
+// are exercised by cmd/jpgbench and the repository benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID    string // e.g. "E1"
+	Title string
+	// Claim restates what the paper asserts.
+	Claim   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries derived findings (e.g. measured ratios) and the
+	// pass/fail verdict against the claim's shape.
+	Notes []string
+}
+
+// AddRow appends a row (stringifying the cells).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a formatted note.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "claim: %s\n\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	b.WriteByte('\n')
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Config tunes experiment scale so unit tests stay fast while jpgbench runs
+// the full paper-scale configuration.
+type Config struct {
+	// Part selects the device for CAD-heavy experiments (default XCV50).
+	Part string
+	// Seed drives all randomised algorithms.
+	Seed int64
+	// Effort scales the placer (default 1.0).
+	Effort float64
+	// Quick shrinks sweeps for test runs.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Part == "" {
+		c.Part = "XCV50"
+	}
+	if c.Effort == 0 {
+		c.Effort = 1.0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}

@@ -1,0 +1,389 @@
+// Package extract reconstructs a logical netlist from Virtex configuration
+// memory: the inverse of bitgen. It scans slice control bits for LUTs and
+// flip-flops, pad mode bits for ports, and active PIPs for nets, and
+// rebuilds a netlist.Design that can be simulated. This is the reproduction's
+// strongest correctness oracle: a partially reconfigured device is correct
+// iff the design extracted from its configuration behaves like the intended
+// design — and it is the same bitstream-understanding machinery tools like
+// JBitsDiff build on.
+package extract
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/frames"
+	"repro/internal/jbits"
+	"repro/internal/netlist"
+)
+
+// Design is the extraction result.
+type Design struct {
+	Netlist *netlist.Design
+	// PortPads maps extracted port names to pads (port names are the pad
+	// names, so this is the identity, kept for symmetry with phys.Design).
+	PortPads map[string]device.Pad
+}
+
+// site identifies a logic element during extraction.
+type site struct {
+	row, col, slice, le int
+}
+
+func (s site) String() string {
+	return fmt.Sprintf("%s.S%d.%s", device.TileName(s.row, s.col), s.slice, device.LUTName(s.le))
+}
+
+// FromMemory extracts the design configured in mem.
+func FromMemory(mem *frames.Memory) (*Design, error) {
+	p := mem.Part
+	jb := jbits.New(mem)
+	nl := netlist.NewDesign("extracted")
+	out := &Design{Netlist: nl, PortPads: map[string]device.Pad{}}
+
+	luts := map[site]*netlist.Cell{}
+	ffs := map[site]*netlist.Cell{}
+
+	// 1. Logic cells from slice control bits.
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			for s := 0; s < 2; s++ {
+				for le := 0; le < 2; le++ {
+					mux, ffCtl, initCtl := device.SliceCtlXMUX, device.SliceCtlFFX, device.SliceCtlINITX
+					lutSel := device.LUTF
+					if le == 1 {
+						mux, ffCtl, initCtl = device.SliceCtlYMUX, device.SliceCtlFFY, device.SliceCtlINITY
+						lutSel = device.LUTG
+					}
+					st := site{r, c, s, le}
+					if on, err := jb.GetSliceCtl(r, c, s, mux); err != nil {
+						return nil, err
+					} else if on {
+						init, err := jb.GetLUT(r, c, s, lutSel)
+						if err != nil {
+							return nil, err
+						}
+						cell, err := nl.NewRawCell(fmt.Sprintf("L_%s", st), netlist.KindLUT4, uint16(init))
+						if err != nil {
+							return nil, err
+						}
+						luts[st] = cell
+					}
+					if on, err := jb.GetSliceCtl(r, c, s, ffCtl); err != nil {
+						return nil, err
+					} else if on {
+						var init uint16
+						if v, err := jb.GetSliceCtl(r, c, s, initCtl); err != nil {
+							return nil, err
+						} else if v {
+							init = 1
+						}
+						cell, err := nl.NewRawCell(fmt.Sprintf("FF_%s", st), netlist.KindDFF, init)
+						if err != nil {
+							return nil, err
+						}
+						ffs[st] = cell
+					}
+				}
+			}
+		}
+	}
+
+	// 2. Ports from pad mode bits.
+	type padInfo struct {
+		pad   device.Pad
+		isIn  bool
+		isOut bool
+	}
+	var pads []padInfo
+	for i := 0; i < p.NumPads(); i++ {
+		pd := padAt(p, i)
+		inUse, err := jb.GetPadMode(pd, device.PadCtlInUse)
+		if err != nil {
+			return nil, err
+		}
+		if !inUse {
+			continue
+		}
+		inEn, _ := jb.GetPadMode(pd, device.PadCtlInEn)
+		outEn, _ := jb.GetPadMode(pd, device.PadCtlOutEn)
+		pads = append(pads, padInfo{pd, inEn, outEn})
+	}
+
+	// 3. Active PIP adjacency.
+	adj := map[device.NodeID][]device.PIP{}
+	activeGlobals := map[int]bool{}
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			active, err := jb.ActivePIPs(r, c)
+			if err != nil {
+				return nil, err
+			}
+			for _, pip := range active {
+				adj[pip.Src] = append(adj[pip.Src], pip)
+				if d := p.DescribeNode(pip.Src); d.Kind == device.NodeGlobal {
+					activeGlobals[d.C] = true
+				}
+			}
+		}
+	}
+
+	ex := &extractor{
+		p: p, nl: nl, adj: adj,
+		luts: luts, ffs: ffs,
+		claimed: map[device.NodeID]*netlist.Net{},
+	}
+
+	// 4. Nets from cell outputs and input pads.
+	for _, st := range sortedSites(luts) {
+		cell := luts[st]
+		node := outNode(p, st, false)
+		net := nl.NewNet(cell.Name + "_o")
+		if err := nl.BindOutput(cell, net); err != nil {
+			return nil, err
+		}
+		if err := ex.trace(net, node); err != nil {
+			return nil, err
+		}
+	}
+	for _, st := range sortedSites(ffs) {
+		cell := ffs[st]
+		node := outNode(p, st, true)
+		net := nl.NewNet(cell.Name + "_q")
+		if err := nl.BindOutput(cell, net); err != nil {
+			return nil, err
+		}
+		if err := ex.trace(net, node); err != nil {
+			return nil, err
+		}
+	}
+	var clockless []device.Pad // input pads with no fabric fanout: clock candidates
+	for _, pi := range pads {
+		if pi.isIn {
+			node := p.PadNodeI(pi.pad)
+			if len(adj[node]) == 0 {
+				clockless = append(clockless, pi.pad)
+				continue
+			}
+			net := nl.NewNet(pi.pad.Name() + "_i")
+			port, err := nl.AddPort(pi.pad.Name(), netlist.In, net)
+			if err != nil {
+				return nil, err
+			}
+			out.PortPads[port.Name] = pi.pad
+			if err := ex.trace(net, node); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// 5. Clock nets: active global lines, each driven by one of the
+	// fanout-free input pads (the pad-to-global path is dedicated wiring
+	// with no configuration bits, so the pairing is by order).
+	globals := make([]int, 0, len(activeGlobals))
+	for g := range activeGlobals {
+		globals = append(globals, g)
+	}
+	sort.Ints(globals)
+	for i, g := range globals {
+		name := fmt.Sprintf("GCLK%d", g)
+		var pd device.Pad
+		if i < len(clockless) {
+			pd = clockless[i]
+			name = pd.Name()
+		}
+		net := nl.NewNet(name + "_i")
+		port, err := nl.AddPort(name, netlist.In, net)
+		if err != nil {
+			return nil, err
+		}
+		out.PortPads[port.Name] = pd
+		if err := ex.trace(net, p.GlobalNode(g)); err != nil {
+			return nil, err
+		}
+	}
+
+	// 6. Output ports read the nets that reached their pads.
+	for _, pi := range pads {
+		if !pi.isOut {
+			continue
+		}
+		net := ex.claimed[p.PadNodeO(pi.pad)]
+		if net == nil {
+			return nil, fmt.Errorf("extract: output pad %s driven by no net", pi.pad.Name())
+		}
+		port, err := nl.AddPort(pi.pad.Name(), netlist.Out, net)
+		if err != nil {
+			return nil, err
+		}
+		out.PortPads[port.Name] = pi.pad
+	}
+
+	// 7. Internal LUT->FF data connections: an FF whose D pin was not
+	// reached through routing takes its paired LUT's output.
+	for _, st := range sortedSites(ffs) {
+		ff := ffs[st]
+		if ff.Inputs[0] != nil {
+			continue
+		}
+		lut := luts[st]
+		if lut == nil {
+			return nil, fmt.Errorf("extract: FF at %s has neither routed data nor a paired LUT", st)
+		}
+		if err := nl.BindInput(ff, "D", lut.Out); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := nl.FinishRaw(); err != nil {
+		return nil, err
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+type extractor struct {
+	p       *device.Part
+	nl      *netlist.Design
+	adj     map[device.NodeID][]device.PIP
+	luts    map[site]*netlist.Cell
+	ffs     map[site]*netlist.Cell
+	claimed map[device.NodeID]*netlist.Net
+}
+
+// trace follows active PIPs from a source node, binding every reached input
+// pin and pad to the net.
+func (ex *extractor) trace(net *netlist.Net, src device.NodeID) error {
+	queue := []device.NodeID{src}
+	seen := map[device.NodeID]bool{src: true}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, pip := range ex.adj[cur] {
+			dst := pip.Dst
+			if owner := ex.claimed[dst]; owner != nil && owner != net {
+				return fmt.Errorf("extract: node %s driven by nets %q and %q",
+					ex.p.NodeName(dst), owner.Name, net.Name)
+			}
+			ex.claimed[dst] = net
+			if seen[dst] {
+				continue
+			}
+			seen[dst] = true
+			if err := ex.bindIfPin(net, dst); err != nil {
+				return err
+			}
+			queue = append(queue, dst)
+		}
+	}
+	return nil
+}
+
+// bindIfPin connects the net to whatever logical pin the node represents.
+func (ex *extractor) bindIfPin(net *netlist.Net, node device.NodeID) error {
+	d := ex.p.DescribeNode(node)
+	if d.Kind != device.NodeWire {
+		return nil // pads handled by the claimed map; wires carry on
+	}
+	w := d.C
+	if w < device.WireInPinBase || w >= device.WiresPerTile {
+		return nil
+	}
+	i := w - device.WireInPinBase
+	slice, k := i/device.InPinsPerSlice, i%device.InPinsPerSlice
+	stF := site{d.A, d.B, slice, 0}
+	stG := site{d.A, d.B, slice, 1}
+	switch {
+	case k >= device.PinF1 && k <= device.PinF4:
+		lut := ex.luts[stF]
+		if lut == nil {
+			return fmt.Errorf("extract: routed input %s feeds no LUT", ex.p.NodeName(node))
+		}
+		return ex.nl.BindInput(lut, fmt.Sprintf("I%d", k-device.PinF1), net)
+	case k >= device.PinG1 && k <= device.PinG4:
+		lut := ex.luts[stG]
+		if lut == nil {
+			return fmt.Errorf("extract: routed input %s feeds no LUT", ex.p.NodeName(node))
+		}
+		return ex.nl.BindInput(lut, fmt.Sprintf("I%d", k-device.PinG1), net)
+	case k == device.PinBX || k == device.PinBY:
+		st := stF
+		if k == device.PinBY {
+			st = stG
+		}
+		ff := ex.ffs[st]
+		if ff == nil {
+			return fmt.Errorf("extract: routed data %s feeds no FF", ex.p.NodeName(node))
+		}
+		return ex.nl.BindInput(ff, "D", net)
+	case k == device.PinCLK, k == device.PinCE, k == device.PinSR:
+		pin := map[int]string{device.PinCLK: "C", device.PinCE: "CE", device.PinSR: "R"}[k]
+		// The control pin is shared by both FFs of the slice.
+		bound := false
+		for _, st := range []site{stF, stG} {
+			if ff := ex.ffs[st]; ff != nil {
+				if err := ex.nl.BindInput(ff, pin, net); err != nil {
+					return err
+				}
+				bound = true
+			}
+		}
+		if !bound {
+			return fmt.Errorf("extract: routed control %s feeds no FF", ex.p.NodeName(node))
+		}
+		return nil
+	}
+	return nil
+}
+
+// outNode returns the output node of a logic element's LUT or FF.
+func outNode(p *device.Part, st site, isFF bool) device.NodeID {
+	pin := device.OutX
+	switch {
+	case isFF && st.le == 0:
+		pin = device.OutXQ
+	case isFF && st.le == 1:
+		pin = device.OutYQ
+	case !isFF && st.le == 1:
+		pin = device.OutY
+	}
+	return p.TileWireNode(st.row, st.col, device.OutWire(st.slice, pin))
+}
+
+func sortedSites[V any](m map[site]V) []site {
+	keys := make([]site, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.row != b.row {
+			return a.row < b.row
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		if a.slice != b.slice {
+			return a.slice < b.slice
+		}
+		return a.le < b.le
+	})
+	return keys
+}
+
+// padAt mirrors the device package's pad enumeration order.
+func padAt(p *device.Part, i int) device.Pad {
+	switch {
+	case i < p.Rows:
+		return device.Pad{Edge: device.EdgeL, Index: i}
+	case i < 2*p.Rows:
+		return device.Pad{Edge: device.EdgeR, Index: i - p.Rows}
+	case i < 2*p.Rows+p.Cols:
+		return device.Pad{Edge: device.EdgeT, Index: i - 2*p.Rows}
+	default:
+		return device.Pad{Edge: device.EdgeB, Index: i - 2*p.Rows - p.Cols}
+	}
+}

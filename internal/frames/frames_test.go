@@ -1,0 +1,162 @@
+package frames
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func xcv50() *Part { return device.MustByName("XCV50") }
+
+func TestBitRoundTrip(t *testing.T) {
+	p := xcv50()
+	m := New(p)
+	f := func(fi uint16, bit uint16) bool {
+		far, err := p.FARAt(int(fi) % p.TotalFrames())
+		if err != nil {
+			return false
+		}
+		bc := device.BitCoord{FAR: far, Bit: int(bit) % p.FrameBits()}
+		m.SetBit(bc, true)
+		if !m.Bit(bc) {
+			return false
+		}
+		m.SetBit(bc, false)
+		return !m.Bit(bc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetFrameLengthCheck(t *testing.T) {
+	p := xcv50()
+	m := New(p)
+	far := device.MakeFAR(device.BlockCLB, 1, 0)
+	if err := m.SetFrame(far, make([]uint32, 3)); err == nil {
+		t.Fatal("short frame payload accepted")
+	}
+	payload := make([]uint32, p.FrameWords())
+	payload[0] = 0xDEADBEEF
+	if err := m.SetFrame(far, payload); err != nil {
+		t.Fatal(err)
+	}
+	if m.Frame(far)[0] != 0xDEADBEEF {
+		t.Fatal("frame payload not stored")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := xcv50()
+	m := New(p)
+	bc := p.CLBBit(1, 1, 0)
+	m.SetBit(bc, true)
+	c := m.Clone()
+	if !c.Bit(bc) {
+		t.Fatal("clone missing bit")
+	}
+	c.SetBit(bc, false)
+	if !m.Bit(bc) {
+		t.Fatal("clone write leaked into original")
+	}
+	if m.Equal(c) {
+		t.Fatal("memories should differ after clone mutation")
+	}
+}
+
+func TestDiffAndCopyFrames(t *testing.T) {
+	p := xcv50()
+	a, b := New(p), New(p)
+	bc1 := p.CLBBit(0, 3, 5)
+	bc2 := p.CLBBit(7, 10, 400)
+	b.SetBit(bc1, true)
+	b.SetBit(bc2, true)
+	diffs, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 2 {
+		t.Fatalf("diff frames = %d, want 2 (%v)", len(diffs), diffs)
+	}
+	if err := a.CopyFrames(b, diffs); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("copying diff frames should equalise memories")
+	}
+	if got, _ := a.Diff(b); len(got) != 0 {
+		t.Fatal("diff after copy should be empty")
+	}
+}
+
+func TestDiffAcrossPartsErrors(t *testing.T) {
+	a := New(xcv50())
+	b := New(device.MustByName("XCV100"))
+	if _, err := a.Diff(b); err == nil {
+		t.Fatal("cross-part diff should error")
+	}
+	if err := a.CopyFrames(b, nil); err == nil {
+		t.Fatal("cross-part copy should error")
+	}
+}
+
+func TestNonZeroFrames(t *testing.T) {
+	p := xcv50()
+	m := New(p)
+	if got := m.NonZeroFrames(); len(got) != 0 {
+		t.Fatalf("fresh memory has %d non-zero frames", len(got))
+	}
+	m.SetBit(p.CLBBit(2, 2, 100), true)
+	if got := m.NonZeroFrames(); len(got) != 1 {
+		t.Fatalf("non-zero frames = %d, want 1", len(got))
+	}
+}
+
+func TestRegionBasics(t *testing.T) {
+	p := xcv50()
+	rg := NewRegion(5, 9, 2, 3) // corners swapped on purpose
+	if rg != (Region{2, 3, 5, 9}) {
+		t.Fatalf("NewRegion did not normalise: %+v", rg)
+	}
+	if !rg.Valid(p) || rg.Rows() != 4 || rg.Cols() != 7 || rg.CLBs() != 28 {
+		t.Fatalf("region geometry wrong: %+v", rg)
+	}
+	if !rg.Contains(2, 3) || !rg.Contains(5, 9) || rg.Contains(1, 3) || rg.Contains(2, 10) {
+		t.Fatal("Contains wrong at boundaries")
+	}
+	if !FullRegion(p).ContainsRegion(rg) {
+		t.Fatal("full region must contain any valid region")
+	}
+	if rg.ContainsRegion(FullRegion(p)) {
+		t.Fatal("sub-region cannot contain the full region")
+	}
+	if (Region{0, 0, 1, 1}).Overlaps(Region{2, 2, 3, 3}) {
+		t.Fatal("disjoint regions reported overlapping")
+	}
+	if !(Region{0, 0, 2, 2}).Overlaps(Region{2, 2, 3, 3}) {
+		t.Fatal("touching regions must overlap")
+	}
+	if (Region{-1, 0, 0, 0}).Valid(p) || (Region{0, 0, 0, p.Cols}).Valid(p) {
+		t.Fatal("out-of-range region reported valid")
+	}
+}
+
+func TestRegionFARs(t *testing.T) {
+	p := xcv50()
+	rg := Region{0, 4, 3, 6} // 3 columns
+	fars := rg.FARs(p)
+	if len(fars) != 3*device.FramesCLBCol {
+		t.Fatalf("region FARs = %d, want %d", len(fars), 3*device.FramesCLBCol)
+	}
+	for _, f := range fars {
+		col, ok := p.CLBColOfMajor(f.Major())
+		if !ok || col < 4 || col > 6 {
+			t.Fatalf("region FAR %v outside columns 4..6", f)
+		}
+	}
+	lo, hi := rg.ColumnSpan(p)
+	if lo != p.CLBMajor(4) || hi != p.CLBMajor(6) {
+		t.Fatalf("column span = %d..%d", lo, hi)
+	}
+}

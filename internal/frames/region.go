@@ -1,0 +1,78 @@
+package frames
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Region is a rectangular CLB region, inclusive on all sides, 0-based.
+// Because Virtex configuration frames span full device columns, partial
+// reconfiguration granularity is per column: any region implies its columns'
+// complete frames.
+type Region struct {
+	R1, C1, R2, C2 int
+}
+
+// NewRegion normalises corner order and returns the region.
+func NewRegion(r1, c1, r2, c2 int) Region {
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	if c1 > c2 {
+		c1, c2 = c2, c1
+	}
+	return Region{r1, c1, r2, c2}
+}
+
+// Valid reports whether the region lies within the part.
+func (rg Region) Valid(p *Part) bool {
+	return rg.R1 >= 0 && rg.C1 >= 0 && rg.R1 <= rg.R2 && rg.C1 <= rg.C2 &&
+		rg.R2 < p.Rows && rg.C2 < p.Cols
+}
+
+// Contains reports whether the 0-based CLB (row, col) lies in the region.
+func (rg Region) Contains(row, col int) bool {
+	return row >= rg.R1 && row <= rg.R2 && col >= rg.C1 && col <= rg.C2
+}
+
+// ContainsRegion reports whether other lies entirely within rg.
+func (rg Region) ContainsRegion(other Region) bool {
+	return rg.Contains(other.R1, other.C1) && rg.Contains(other.R2, other.C2)
+}
+
+// Overlaps reports whether the two regions share any CLB.
+func (rg Region) Overlaps(other Region) bool {
+	return rg.R1 <= other.R2 && other.R1 <= rg.R2 && rg.C1 <= other.C2 && other.C1 <= rg.C2
+}
+
+// Rows, Cols and CLBs return the region dimensions.
+func (rg Region) Rows() int { return rg.R2 - rg.R1 + 1 }
+func (rg Region) Cols() int { return rg.C2 - rg.C1 + 1 }
+func (rg Region) CLBs() int { return rg.Rows() * rg.Cols() }
+
+func (rg Region) String() string {
+	return fmt.Sprintf("CLB_%s:CLB_%s", device.TileName(rg.R1, rg.C1), device.TileName(rg.R2, rg.C2))
+}
+
+// FARs returns the frame addresses configuring the region's CLB columns, in
+// device order. This is the frame set a column-granularity partial bitstream
+// for the region must carry.
+func (rg Region) FARs(p *Part) []device.FAR {
+	fars := make([]device.FAR, 0, rg.Cols()*device.FramesCLBCol)
+	for c := rg.C1; c <= rg.C2; c++ {
+		maj := p.CLBMajor(c)
+		for minor := 0; minor < device.FramesCLBCol; minor++ {
+			fars = append(fars, device.MakeFAR(device.BlockCLB, maj, minor))
+		}
+	}
+	return fars
+}
+
+// ColumnSpan returns the majors (block type 0) covering the region's columns.
+func (rg Region) ColumnSpan(p *Part) (majLo, majHi int) {
+	return p.CLBMajor(rg.C1), p.CLBMajor(rg.C2)
+}
+
+// FullRegion returns the region covering the whole CLB array.
+func FullRegion(p *Part) Region { return Region{0, 0, p.Rows - 1, p.Cols - 1} }

@@ -1,0 +1,61 @@
+// Package jbitsdiff reimplements the JBitsDiff approach (James-Roxby &
+// Guccione, FCCM'99), the paper's other §2.3 comparator: given two complete
+// bitstreams — a reference and a version containing the core of interest —
+// it identifies the differing configuration frames and packages them as a
+// relocatable "core" (here: a minimal partial bitstream carrying exactly the
+// differing frames). Like PARBIT, it requires a complete implementation run
+// per variant; unlike PARBIT, its output is minimal rather than
+// column-window shaped.
+package jbitsdiff
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/device"
+	"repro/internal/frames"
+)
+
+// Core is an extracted difference core.
+type Core struct {
+	Part *device.Part
+	// FARs lists the differing frames, in device order.
+	FARs []device.FAR
+	// Bitstream is the partial bitstream applying the core.
+	Bitstream []byte
+}
+
+// Extract diffs two complete bitstreams for the same part and packages the
+// differing frames of the second as a core.
+func Extract(reference, withCore []byte) (*Core, error) {
+	p1, err := bitstream.InferPart(reference)
+	if err != nil {
+		return nil, fmt.Errorf("jbitsdiff: reference: %w", err)
+	}
+	p2, err := bitstream.InferPart(withCore)
+	if err != nil {
+		return nil, fmt.Errorf("jbitsdiff: target: %w", err)
+	}
+	if p1 != p2 {
+		return nil, fmt.Errorf("jbitsdiff: parts differ (%s vs %s)", p1.Name, p2.Name)
+	}
+	memA, memB := frames.New(p1), frames.New(p1)
+	if _, err := bitstream.Apply(memA, reference); err != nil {
+		return nil, fmt.Errorf("jbitsdiff: reference: %w", err)
+	}
+	if _, err := bitstream.Apply(memB, withCore); err != nil {
+		return nil, fmt.Errorf("jbitsdiff: target: %w", err)
+	}
+	diff, err := memA.Diff(memB)
+	if err != nil {
+		return nil, err
+	}
+	if len(diff) == 0 {
+		return nil, fmt.Errorf("jbitsdiff: bitstreams are identical; no core to extract")
+	}
+	bs, err := bitstream.WritePartialForFARs(memB, diff)
+	if err != nil {
+		return nil, err
+	}
+	return &Core{Part: p1, FARs: diff, Bitstream: bs}, nil
+}

@@ -1,0 +1,93 @@
+package jbitsdiff
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/flow"
+	"repro/internal/frames"
+)
+
+func twoBuilds(t *testing.T) (*flow.BaseBuild, *flow.BaseBuild) {
+	t.Helper()
+	p := device.MustByName("XCV50")
+	a, err := flow.BuildBase(p, []designs.Instance{
+		{Prefix: "u1/", Gen: designs.Counter{Bits: 5}},
+		{Prefix: "u2/", Gen: designs.SBoxBank{N: 4, Seed: 9}},
+	}, flow.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same floorplan, u1 swapped for an LFSR: rebuild the whole design, as
+	// the JBitsDiff methodology requires.
+	b, err := flow.BuildBase(p, []designs.Instance{
+		{Prefix: "u1/", Gen: designs.LFSR{Bits: 5}},
+		{Prefix: "u2/", Gen: designs.SBoxBank{N: 4, Seed: 9}},
+	}, flow.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestExtractCore(t *testing.T) {
+	a, b := twoBuilds(t)
+	core, err := Extract(a.Bitstream, b.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(core.FARs) == 0 || len(core.Bitstream) == 0 {
+		t.Fatal("empty core")
+	}
+	if len(core.Bitstream) >= len(b.Bitstream) {
+		t.Fatal("core not smaller than complete bitstream")
+	}
+	// Applying the core to the reference state reproduces the target state.
+	p := core.Part
+	mem := frames.New(p)
+	if _, err := bitstream.Apply(mem, a.Bitstream); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bitstream.Apply(mem, core.Bitstream); err != nil {
+		t.Fatal(err)
+	}
+	want := frames.New(p)
+	if _, err := bitstream.Apply(want, b.Bitstream); err != nil {
+		t.Fatal(err)
+	}
+	if !mem.Equal(want) {
+		t.Fatal("reference + core != target")
+	}
+}
+
+func TestExtractIdenticalInputs(t *testing.T) {
+	a, _ := twoBuilds(t)
+	if _, err := Extract(a.Bitstream, a.Bitstream); err == nil {
+		t.Fatal("identical bitstreams produced a core")
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	a, _ := twoBuilds(t)
+	if _, err := Extract([]byte{1, 2, 3, 4}, a.Bitstream); err == nil {
+		t.Fatal("garbage reference accepted")
+	}
+	// Different parts.
+	other := flowBitstream(t, "XCV100")
+	if _, err := Extract(a.Bitstream, other); err == nil {
+		t.Fatal("cross-part diff accepted")
+	}
+}
+
+func flowBitstream(t *testing.T, part string) []byte {
+	t.Helper()
+	b, err := flow.BuildBase(device.MustByName(part), []designs.Instance{
+		{Prefix: "u1/", Gen: designs.Counter{Bits: 4}},
+	}, flow.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Bitstream
+}

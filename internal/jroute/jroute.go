@@ -1,0 +1,108 @@
+// Package jroute is a run-time routing API over live configuration memory,
+// after the JRoute layer of the JBits ecosystem (Keller, FPL'00): it routes
+// individual connections directly in a configured device's bitstream state,
+// using only resources the existing configuration leaves free. JPG-era
+// systems used this to stitch module interfaces at run time without a CAD
+// round trip.
+package jroute
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/frames"
+	"repro/internal/jbits"
+)
+
+// Router performs incremental routing on one device's configuration memory.
+type Router struct {
+	jb *jbits.JBits
+	g  *device.Graph
+	// driven marks nodes already driven by the existing configuration (or
+	// by connections this router made); capacity is one driver per node.
+	driven map[device.NodeID]bool
+}
+
+// New scans the configuration's active PIPs and returns a router that will
+// only claim free resources.
+func New(mem *frames.Memory) (*Router, error) {
+	jb := jbits.New(mem)
+	r := &Router{
+		jb:     jb,
+		g:      device.NewGraph(mem.Part),
+		driven: map[device.NodeID]bool{},
+	}
+	for row := 0; row < mem.Part.Rows; row++ {
+		for col := 0; col < mem.Part.Cols; col++ {
+			active, err := jb.ActivePIPs(row, col)
+			if err != nil {
+				return nil, err
+			}
+			for _, pip := range active {
+				r.driven[pip.Dst] = true
+			}
+		}
+	}
+	return r, nil
+}
+
+// Connect routes src to dst through free resources, turning the path's PIPs
+// on in the configuration memory, and returns the path. It fails without
+// modifying anything if no free path exists.
+func (r *Router) Connect(src, dst device.NodeID) ([]device.PIP, error) {
+	if r.driven[dst] {
+		return nil, fmt.Errorf("jroute: destination %s is already driven", r.g.Part.NodeName(dst))
+	}
+	// BFS over free nodes (all hops cost ~1 in run-time routing; shortest
+	// hop count is the JRoute behaviour).
+	prev := map[device.NodeID]device.PIP{}
+	seen := map[device.NodeID]bool{src: true}
+	queue := []device.NodeID{src}
+	found := false
+	for len(queue) > 0 && !found {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, pip := range r.g.From(cur) {
+			if seen[pip.Dst] || r.driven[pip.Dst] {
+				continue
+			}
+			seen[pip.Dst] = true
+			prev[pip.Dst] = pip
+			if pip.Dst == dst {
+				found = true
+				break
+			}
+			queue = append(queue, pip.Dst)
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("jroute: no free path from %s to %s",
+			r.g.Part.NodeName(src), r.g.Part.NodeName(dst))
+	}
+	var rev []device.PIP
+	for node := dst; node != src; {
+		pip := prev[node]
+		rev = append(rev, pip)
+		node = pip.Src
+	}
+	path := make([]device.PIP, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	for _, pip := range path {
+		r.jb.SetPIP(pip, true)
+		r.driven[pip.Dst] = true
+	}
+	return path, nil
+}
+
+// Disconnect removes a previously made connection, freeing its resources.
+func (r *Router) Disconnect(path []device.PIP) {
+	for _, pip := range path {
+		r.jb.SetPIP(pip, false)
+		delete(r.driven, pip.Dst)
+	}
+}
+
+// Free reports whether a node is currently undriven.
+func (r *Router) Free(n device.NodeID) bool { return !r.driven[n] }

@@ -1,0 +1,58 @@
+// Package ncd implements the binary physical-design database of the flow —
+// the role the proprietary Xilinx .ncd file plays. Placement and routing
+// results are stored in NCD; the xdl tool converts NCD to the ASCII XDL form
+// that JPG consumes (paper §3.2).
+//
+// Format: an 8-byte magic/version header ("XCVNCD1\n") followed by a
+// gob-encoded phys.Flat record.
+package ncd
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/phys"
+)
+
+var magic = []byte("XCVNCD1\n")
+
+// Marshal serialises a physical design to NCD bytes.
+func Marshal(d *phys.Design) ([]byte, error) {
+	f, err := d.Flatten()
+	if err != nil {
+		return nil, err
+	}
+	return MarshalFlat(f)
+}
+
+// MarshalFlat serialises an already-flattened design.
+func MarshalFlat(f *phys.Flat) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(magic)
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("ncd: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalFlat reads NCD bytes back into flattened form.
+func UnmarshalFlat(data []byte) (*phys.Flat, error) {
+	if len(data) < len(magic) || !bytes.Equal(data[:len(magic)], magic) {
+		return nil, fmt.Errorf("ncd: bad magic (not an NCD file?)")
+	}
+	var f phys.Flat
+	if err := gob.NewDecoder(bytes.NewReader(data[len(magic):])).Decode(&f); err != nil {
+		return nil, fmt.Errorf("ncd: decode: %w", err)
+	}
+	return &f, nil
+}
+
+// Unmarshal reads NCD bytes and reconstructs the physical design.
+func Unmarshal(data []byte) (*phys.Design, error) {
+	f, err := UnmarshalFlat(data)
+	if err != nil {
+		return nil, err
+	}
+	return phys.Unflatten(f)
+}

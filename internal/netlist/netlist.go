@@ -1,0 +1,325 @@
+// Package netlist models technology-mapped logical designs: networks of
+// 4-input LUTs and D flip-flops connected by single-driver nets, with
+// top-level ports. This is the level the mapping stage produces and the
+// placer and router consume.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CellKind enumerates primitive cell types.
+type CellKind int
+
+const (
+	// KindLUT4 is a 4-input lookup table. Pins: I0..I3 (inputs), O (output).
+	KindLUT4 CellKind = iota
+	// KindDFF is a D flip-flop. Pins: D (input), C (clock), optional CE
+	// (clock enable), R (reset), and Q (output).
+	KindDFF
+)
+
+func (k CellKind) String() string {
+	switch k {
+	case KindLUT4:
+		return "LUT4"
+	case KindDFF:
+		return "DFF"
+	}
+	return fmt.Sprintf("CellKind(%d)", int(k))
+}
+
+// PortDir is a top-level port direction.
+type PortDir int
+
+const (
+	In PortDir = iota
+	Out
+)
+
+func (d PortDir) String() string {
+	if d == In {
+		return "in"
+	}
+	return "out"
+}
+
+// Cell is one primitive instance.
+type Cell struct {
+	Name string
+	Kind CellKind
+	// Init is the truth table for LUT4 cells (bit i = output for input
+	// value i over I3..I0), and the reset value for DFFs (bit 0).
+	Init uint16
+	// Inputs are the input nets: LUT4 uses I0..I3 (nil for unused, but no
+	// gaps); DFF uses exactly one (D).
+	Inputs []*Net
+	// Clock, CE and Reset connect DFF control pins (nil when unused).
+	Clock, CE, Reset *Net
+	// Out is the net driven by O/Q (nil only while under construction).
+	Out *Net
+}
+
+// PinRef names one cell pin, for net connectivity.
+type PinRef struct {
+	Cell *Cell
+	Pin  string // "I0".."I3", "D", "C", "CE", "R", "O", "Q"
+}
+
+func (pr PinRef) String() string {
+	if pr.Cell == nil {
+		return "<port>"
+	}
+	return pr.Cell.Name + "." + pr.Pin
+}
+
+// Net is a single-driver signal.
+type Net struct {
+	Name string
+	// Driver is the driving pin; Cell is nil when an input port drives the
+	// net (DriverPort names it).
+	Driver     PinRef
+	DriverPort *Port
+	Sinks      []PinRef
+	// SinkPorts lists output ports reading the net.
+	SinkPorts []*Port
+	// IsClock marks nets distributed on global lines rather than general
+	// routing.
+	IsClock bool
+}
+
+// Driven reports whether the net has a driver.
+func (n *Net) Driven() bool { return n.Driver.Cell != nil || n.DriverPort != nil }
+
+// FanOut returns the number of sink pins and ports.
+func (n *Net) FanOut() int { return len(n.Sinks) + len(n.SinkPorts) }
+
+// Port is a top-level design port.
+type Port struct {
+	Name string
+	Dir  PortDir
+	Net  *Net
+	// Pad optionally pins the port to a named device pad (e.g. "P_L3"),
+	// a LOC constraint carried in the UCF.
+	Pad string
+}
+
+// Design is a technology-mapped netlist.
+type Design struct {
+	Name  string
+	Cells []*Cell
+	Nets  []*Net
+	Ports []*Port
+
+	cellsByName map[string]*Cell
+	netsByName  map[string]*Net
+	portsByName map[string]*Port
+}
+
+// NewDesign returns an empty design.
+func NewDesign(name string) *Design {
+	return &Design{
+		Name:        name,
+		cellsByName: map[string]*Cell{},
+		netsByName:  map[string]*Net{},
+		portsByName: map[string]*Port{},
+	}
+}
+
+// NewNet creates a named net. Names must be unique; a suffix is appended on
+// collision so generators can be careless about uniqueness.
+func (d *Design) NewNet(name string) *Net {
+	name = d.uniqueNetName(name)
+	n := &Net{Name: name}
+	d.Nets = append(d.Nets, n)
+	d.netsByName[name] = n
+	return n
+}
+
+func (d *Design) uniqueNetName(name string) string {
+	if _, taken := d.netsByName[name]; !taken {
+		return name
+	}
+	for i := 1; ; i++ {
+		cand := fmt.Sprintf("%s_%d", name, i)
+		if _, taken := d.netsByName[cand]; !taken {
+			return cand
+		}
+	}
+}
+
+// Net looks up a net by name.
+func (d *Design) Net(name string) (*Net, bool) {
+	n, ok := d.netsByName[name]
+	return n, ok
+}
+
+// Cell looks up a cell by name.
+func (d *Design) Cell(name string) (*Cell, bool) {
+	c, ok := d.cellsByName[name]
+	return c, ok
+}
+
+// Port looks up a port by name.
+func (d *Design) Port(name string) (*Port, bool) {
+	p, ok := d.portsByName[name]
+	return p, ok
+}
+
+func (d *Design) addCell(c *Cell) (*Cell, error) {
+	if _, dup := d.cellsByName[c.Name]; dup {
+		return nil, fmt.Errorf("netlist: duplicate cell %q", c.Name)
+	}
+	d.Cells = append(d.Cells, c)
+	d.cellsByName[c.Name] = c
+	return c, nil
+}
+
+// AddLUT adds a LUT4 driving a fresh net. inputs supplies 1..4 input nets.
+func (d *Design) AddLUT(name string, init uint16, inputs ...*Net) (*Cell, error) {
+	if len(inputs) == 0 || len(inputs) > 4 {
+		return nil, fmt.Errorf("netlist: LUT %q with %d inputs", name, len(inputs))
+	}
+	for i, in := range inputs {
+		if in == nil {
+			return nil, fmt.Errorf("netlist: LUT %q input I%d is nil", name, i)
+		}
+	}
+	c := &Cell{Name: name, Kind: KindLUT4, Init: init, Inputs: append([]*Net(nil), inputs...)}
+	if _, err := d.addCell(c); err != nil {
+		return nil, err
+	}
+	for i, in := range inputs {
+		in.Sinks = append(in.Sinks, PinRef{c, fmt.Sprintf("I%d", i)})
+	}
+	c.Out = d.NewNet(name + "_o")
+	c.Out.Driver = PinRef{c, "O"}
+	return c, nil
+}
+
+// AddDFF adds a flip-flop driving a fresh net. ce and reset may be nil.
+func (d *Design) AddDFF(name string, data, clock, ce, reset *Net) (*Cell, error) {
+	if data == nil || clock == nil {
+		return nil, fmt.Errorf("netlist: DFF %q needs data and clock nets", name)
+	}
+	c := &Cell{Name: name, Kind: KindDFF, Inputs: []*Net{data}, Clock: clock, CE: ce, Reset: reset}
+	if _, err := d.addCell(c); err != nil {
+		return nil, err
+	}
+	data.Sinks = append(data.Sinks, PinRef{c, "D"})
+	clock.IsClock = true
+	clock.Sinks = append(clock.Sinks, PinRef{c, "C"})
+	if ce != nil {
+		ce.Sinks = append(ce.Sinks, PinRef{c, "CE"})
+	}
+	if reset != nil {
+		reset.Sinks = append(reset.Sinks, PinRef{c, "R"})
+	}
+	c.Out = d.NewNet(name + "_q")
+	c.Out.Driver = PinRef{c, "Q"}
+	return c, nil
+}
+
+// AddPort adds a top-level port. Input ports drive a fresh net; output ports
+// must be bound to a net with BindOutput (or pass net here).
+func (d *Design) AddPort(name string, dir PortDir, net *Net) (*Port, error) {
+	if _, dup := d.portsByName[name]; dup {
+		return nil, fmt.Errorf("netlist: duplicate port %q", name)
+	}
+	p := &Port{Name: name, Dir: dir}
+	switch dir {
+	case In:
+		if net == nil {
+			net = d.NewNet(name)
+		}
+		if net.Driven() {
+			return nil, fmt.Errorf("netlist: input port %q on already-driven net %q", name, net.Name)
+		}
+		p.Net = net
+		net.DriverPort = p
+	case Out:
+		if net == nil {
+			return nil, fmt.Errorf("netlist: output port %q needs a net", name)
+		}
+		p.Net = net
+		net.SinkPorts = append(net.SinkPorts, p)
+	}
+	d.Ports = append(d.Ports, p)
+	d.portsByName[name] = p
+	return p, nil
+}
+
+// Stats summarises design size.
+type Stats struct {
+	LUTs, DFFs, Nets, Ports int
+}
+
+// Stats returns design size counters.
+func (d *Design) Stats() Stats {
+	s := Stats{Nets: len(d.Nets), Ports: len(d.Ports)}
+	for _, c := range d.Cells {
+		switch c.Kind {
+		case KindLUT4:
+			s.LUTs++
+		case KindDFF:
+			s.DFFs++
+		}
+	}
+	return s
+}
+
+// Validate checks structural invariants: unique names, single drivers, no
+// dangling connectivity, pin arity.
+func (d *Design) Validate() error {
+	for _, n := range d.Nets {
+		if !n.Driven() {
+			if n.FanOut() > 0 {
+				return fmt.Errorf("netlist: net %q has sinks but no driver", n.Name)
+			}
+			continue
+		}
+		if n.Driver.Cell != nil && n.DriverPort != nil {
+			return fmt.Errorf("netlist: net %q has two drivers", n.Name)
+		}
+	}
+	for _, c := range d.Cells {
+		switch c.Kind {
+		case KindLUT4:
+			if len(c.Inputs) == 0 || len(c.Inputs) > 4 {
+				return fmt.Errorf("netlist: LUT %q has %d inputs", c.Name, len(c.Inputs))
+			}
+		case KindDFF:
+			if len(c.Inputs) != 1 || c.Clock == nil {
+				return fmt.Errorf("netlist: DFF %q missing data/clock", c.Name)
+			}
+		}
+		if c.Out == nil {
+			return fmt.Errorf("netlist: cell %q drives no net", c.Name)
+		}
+		if c.Out.Driver.Cell != c {
+			return fmt.Errorf("netlist: cell %q output net %q driver mismatch", c.Name, c.Out.Name)
+		}
+	}
+	for _, p := range d.Ports {
+		if p.Net == nil {
+			return fmt.Errorf("netlist: port %q unconnected", p.Name)
+		}
+	}
+	return nil
+}
+
+// SortedCells returns cells ordered by name (for deterministic iteration in
+// tools and file emitters).
+func (d *Design) SortedCells() []*Cell {
+	out := append([]*Cell(nil), d.Cells...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SortedNets returns nets ordered by name.
+func (d *Design) SortedNets() []*Net {
+	out := append([]*Net(nil), d.Nets...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

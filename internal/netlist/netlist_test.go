@@ -1,0 +1,147 @@
+package netlist
+
+import "testing"
+
+func TestBuildAndValidate(t *testing.T) {
+	d := NewDesign("t")
+	a, err := d.AddPort("a", In, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.AddPort("b", In, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk, err := d.AddPort("clk", In, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lut, err := d.AddLUT("and1", 0x8888, a.Net, b.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := d.AddDFF("ff1", lut.Out, clk.Net, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPort("q", Out, ff.Out); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.LUTs != 1 || st.DFFs != 1 || st.Ports != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !clk.Net.IsClock {
+		t.Fatal("clock net not marked")
+	}
+	if lut.Out.FanOut() != 1 || a.Net.FanOut() != 1 {
+		t.Fatal("fanout bookkeeping wrong")
+	}
+}
+
+func TestDuplicateNamesRejected(t *testing.T) {
+	d := NewDesign("t")
+	a, _ := d.AddPort("a", In, nil)
+	if _, err := d.AddLUT("x", 0, a.Net); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddLUT("x", 0, a.Net); err == nil {
+		t.Fatal("duplicate cell accepted")
+	}
+	if _, err := d.AddPort("a", In, nil); err == nil {
+		t.Fatal("duplicate port accepted")
+	}
+	// Net name collisions are resolved automatically.
+	n1 := d.NewNet("n")
+	n2 := d.NewNet("n")
+	if n1.Name == n2.Name {
+		t.Fatal("net names collide")
+	}
+}
+
+func TestInvalidCells(t *testing.T) {
+	d := NewDesign("t")
+	a, _ := d.AddPort("a", In, nil)
+	if _, err := d.AddLUT("l0", 0); err == nil {
+		t.Fatal("0-input LUT accepted")
+	}
+	if _, err := d.AddLUT("l5", 0, a.Net, a.Net, a.Net, a.Net, a.Net); err == nil {
+		t.Fatal("5-input LUT accepted")
+	}
+	if _, err := d.AddLUT("ln", 0, nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if _, err := d.AddDFF("f", nil, a.Net, nil, nil); err == nil {
+		t.Fatal("DFF without data accepted")
+	}
+	if _, err := d.AddDFF("f", a.Net, nil, nil, nil); err == nil {
+		t.Fatal("DFF without clock accepted")
+	}
+	if _, err := d.AddPort("o", Out, nil); err == nil {
+		t.Fatal("output port without net accepted")
+	}
+}
+
+func TestInputPortOnDrivenNetRejected(t *testing.T) {
+	d := NewDesign("t")
+	a, _ := d.AddPort("a", In, nil)
+	lut, _ := d.AddLUT("l", 0x5555, a.Net)
+	if _, err := d.AddPort("bad", In, lut.Out); err == nil {
+		t.Fatal("input port bound to driven net accepted")
+	}
+}
+
+func TestValidateCatchesDanglingSinks(t *testing.T) {
+	d := NewDesign("t")
+	a, _ := d.AddPort("a", In, nil)
+	if _, err := d.AddLUT("l", 0x5555, a.Net); err != nil {
+		t.Fatal(err)
+	}
+	// Manufacture a sink on an undriven net.
+	ghost := d.NewNet("ghost")
+	ghost.Sinks = append(ghost.Sinks, PinRef{d.Cells[0], "I1"})
+	if err := d.Validate(); err == nil {
+		t.Fatal("dangling sink not caught")
+	}
+}
+
+func TestSortedAccessorsDeterministic(t *testing.T) {
+	d := NewDesign("t")
+	a, _ := d.AddPort("a", In, nil)
+	for _, name := range []string{"z", "m", "b"} {
+		if _, err := d.AddLUT(name, 0, a.Net); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cells := d.SortedCells()
+	if cells[0].Name != "b" || cells[2].Name != "z" {
+		t.Fatalf("cells not sorted: %v %v %v", cells[0].Name, cells[1].Name, cells[2].Name)
+	}
+	nets := d.SortedNets()
+	for i := 1; i < len(nets); i++ {
+		if nets[i-1].Name >= nets[i].Name {
+			t.Fatal("nets not sorted")
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	d := NewDesign("t")
+	a, _ := d.AddPort("a", In, nil)
+	lut, _ := d.AddLUT("l", 0, a.Net)
+	if c, ok := d.Cell("l"); !ok || c != lut {
+		t.Fatal("cell lookup failed")
+	}
+	if n, ok := d.Net(lut.Out.Name); !ok || n != lut.Out {
+		t.Fatal("net lookup failed")
+	}
+	if p, ok := d.Port("a"); !ok || p.Net != a.Net {
+		t.Fatal("port lookup failed")
+	}
+	if _, ok := d.Cell("nope"); ok {
+		t.Fatal("phantom cell")
+	}
+}

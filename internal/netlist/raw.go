@@ -1,0 +1,90 @@
+package netlist
+
+import "fmt"
+
+// Raw-construction API for file loaders (XDL/NCD readers), which learn a
+// design's connectivity incrementally: cells are created unconnected, then
+// nets are bound to pins. Callers finish with FinishRaw + Validate.
+
+// NewRawCell registers a cell with no connectivity. LUT4 cells get four
+// input slots (trimmed by FinishRaw); DFFs one.
+func (d *Design) NewRawCell(name string, kind CellKind, init uint16) (*Cell, error) {
+	c := &Cell{Name: name, Kind: kind, Init: init}
+	switch kind {
+	case KindLUT4:
+		c.Inputs = make([]*Net, 4)
+	case KindDFF:
+		c.Inputs = make([]*Net, 1)
+	default:
+		return nil, fmt.Errorf("netlist: raw cell %q has unknown kind %v", name, kind)
+	}
+	return d.addCell(c)
+}
+
+// BindOutput makes c the driver of n (pin O or Q by kind).
+func (d *Design) BindOutput(c *Cell, n *Net) error {
+	if c.Out != nil {
+		return fmt.Errorf("netlist: cell %q already drives %q", c.Name, c.Out.Name)
+	}
+	if n.Driven() {
+		return fmt.Errorf("netlist: net %q already driven", n.Name)
+	}
+	pin := "O"
+	if c.Kind == KindDFF {
+		pin = "Q"
+	}
+	c.Out = n
+	n.Driver = PinRef{c, pin}
+	return nil
+}
+
+// BindInput connects n to a named input pin of c: "I0".."I3" for LUTs,
+// "D", "C", "CE", "R" for DFFs.
+func (d *Design) BindInput(c *Cell, pin string, n *Net) error {
+	attach := func(slot **Net) error {
+		if *slot != nil {
+			return fmt.Errorf("netlist: %s.%s bound twice", c.Name, pin)
+		}
+		*slot = n
+		n.Sinks = append(n.Sinks, PinRef{c, pin})
+		return nil
+	}
+	switch {
+	case c.Kind == KindLUT4 && len(pin) == 2 && pin[0] == 'I' && pin[1] >= '0' && pin[1] <= '3':
+		return attach(&c.Inputs[pin[1]-'0'])
+	case c.Kind == KindDFF && pin == "D":
+		return attach(&c.Inputs[0])
+	case c.Kind == KindDFF && pin == "C":
+		n.IsClock = true
+		return attach(&c.Clock)
+	case c.Kind == KindDFF && pin == "CE":
+		return attach(&c.CE)
+	case c.Kind == KindDFF && pin == "R":
+		return attach(&c.Reset)
+	}
+	return fmt.Errorf("netlist: cell %q has no input pin %q", c.Name, pin)
+}
+
+// FinishRaw trims unused trailing LUT input slots and rejects gaps, making
+// raw-built cells satisfy Validate's arity rules.
+func (d *Design) FinishRaw() error {
+	for _, c := range d.Cells {
+		if c.Kind != KindLUT4 {
+			continue
+		}
+		used := len(c.Inputs)
+		for used > 0 && c.Inputs[used-1] == nil {
+			used--
+		}
+		for i := 0; i < used; i++ {
+			if c.Inputs[i] == nil {
+				return fmt.Errorf("netlist: LUT %q input I%d unbound but I%d bound", c.Name, i, used-1)
+			}
+		}
+		if used == 0 {
+			return fmt.Errorf("netlist: LUT %q has no inputs bound", c.Name)
+		}
+		c.Inputs = c.Inputs[:used]
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSample(t *testing.T) *Design {
+	t.Helper()
+	d := NewDesign("sample")
+	a, _ := d.AddPort("a", In, nil)
+	b, _ := d.AddPort("b", In, nil)
+	clk, _ := d.AddPort("clk", In, nil)
+	ce, _ := d.AddPort("ce", In, nil)
+	lut, err := d.AddLUT("u1/and", 0x8888, a.Net, b.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := d.AddDFF("u1/q", lut.Out, clk.Net, ce.Net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff.Init = 1
+	if _, err := d.AddPort("q", Out, ff.Out); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	d := buildSample(t)
+	text, err := EmitText(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseText(text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	// Canonical: emit(parse(emit(d))) == emit(d).
+	text2, err := EmitText(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != text2 {
+		t.Fatalf("text round trip not canonical:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+	// Structure preserved.
+	if back.Name != d.Name || len(back.Cells) != len(d.Cells) || len(back.Ports) != len(d.Ports) {
+		t.Fatal("round trip lost structure")
+	}
+	lut, ok := back.Cell("u1/and")
+	if !ok || lut.Init != 0x8888 || len(lut.Inputs) != 2 {
+		t.Fatalf("lut lost: %+v", lut)
+	}
+	ff, ok := back.Cell("u1/q")
+	if !ok || ff.Init != 1 || ff.CE == nil || ff.Reset != nil {
+		t.Fatalf("dff lost: %+v", ff)
+	}
+	clkNet, _ := back.Net(mustPort(t, back, "clk").Net.Name)
+	if !clkNet.IsClock {
+		t.Fatal("clock flag lost")
+	}
+}
+
+func mustPort(t *testing.T, d *Design, name string) *Port {
+	t.Helper()
+	p, ok := d.Port(name)
+	if !ok {
+		t.Fatalf("port %q missing", name)
+	}
+	return p
+}
+
+func TestTextPadsPreserved(t *testing.T) {
+	d := buildSample(t)
+	p, _ := d.Port("clk")
+	p.Pad = "P_L1"
+	text, err := EmitText(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustPort(t, back, "clk").Pad != "P_L1" {
+		t.Fatal("pad LOC lost")
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`net "n"`, // no design first
+		"design \"d\"\nlut \"l\" init=ZZ in=\"x\" out=\"y\"",               // bad init + undeclared nets
+		"design \"d\"\nnet \"n\"\nlut \"l\" init=0 in=\"n\" out=\"ghost\"", // undeclared out
+		"design \"d\"\nnet \"n\"\nport \"p\" sideways net=\"n\"",
+		"design \"d\"\nnet \"n\"\ndff \"f\" init=0 d=\"n\" out=\"n\"", // missing clock
+		"design \"d\"\nwarp \"x\"",
+		"design \"d\"\nnet \"unterminated",
+	}
+	for _, text := range bad {
+		if _, err := ParseText(text); err == nil {
+			t.Errorf("ParseText(%q) should fail", text)
+		}
+	}
+}
+
+func TestTextNamesWithSpaces(t *testing.T) {
+	d := NewDesign("odd names")
+	a, _ := d.AddPort("in port", In, nil)
+	lut, err := d.AddLUT("cell with space", 0x5555, a.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPort("out port", Out, lut.Out); err != nil {
+		t.Fatal(err)
+	}
+	text, err := EmitText(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseText(text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if _, ok := back.Cell("cell with space"); !ok {
+		t.Fatal("spaced name lost")
+	}
+	if !strings.Contains(text, `"cell with space"`) {
+		t.Fatal("names not quoted")
+	}
+}

@@ -1,0 +1,97 @@
+// Package parbit reimplements the PARBIT tool (Horta & Lockwood, WUCS-01-13),
+// the paper's §2.3 comparator: a transformer that extracts a partial
+// bitstream from a *complete* target bitstream, driven by an options file
+// naming the device and the column window to extract. Unlike JPG, PARBIT
+// knows nothing of the CAD flow: every module variant requires a full-design
+// implementation run to produce the complete bitstream it carves up.
+package parbit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitstream"
+	"repro/internal/device"
+	"repro/internal/frames"
+)
+
+// Options mirrors PARBIT's options file: the target part and the inclusive
+// 1-based CLB column window to extract.
+type Options struct {
+	Part     string
+	StartCol int // 1-based, inclusive
+	EndCol   int // 1-based, inclusive
+}
+
+// ParseOptions reads a PARBIT-style options file:
+//
+//	# comment
+//	target XCV50
+//	col_start 5
+//	col_end 12
+func ParseOptions(text string) (Options, error) {
+	var o Options
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return o, fmt.Errorf("parbit: options line %d: %q", lineNo+1, line)
+		}
+		val = strings.TrimSpace(val)
+		switch key {
+		case "target":
+			o.Part = val
+		case "col_start":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return o, fmt.Errorf("parbit: options line %d: bad col_start %q", lineNo+1, val)
+			}
+			o.StartCol = n
+		case "col_end":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return o, fmt.Errorf("parbit: options line %d: bad col_end %q", lineNo+1, val)
+			}
+			o.EndCol = n
+		default:
+			return o, fmt.Errorf("parbit: options line %d: unknown key %q", lineNo+1, key)
+		}
+	}
+	if o.Part == "" || o.StartCol == 0 || o.EndCol == 0 {
+		return o, fmt.Errorf("parbit: options need target, col_start and col_end")
+	}
+	return o, nil
+}
+
+// Emit renders the options back to file form.
+func (o Options) Emit() string {
+	return fmt.Sprintf("target %s\ncol_start %d\ncol_end %d\n", o.Part, o.StartCol, o.EndCol)
+}
+
+// Transform extracts the partial bitstream for the options' column window
+// from a complete bitstream.
+func Transform(completeBitstream []byte, o Options) ([]byte, error) {
+	part, err := device.ByName(o.Part)
+	if err != nil {
+		return nil, err
+	}
+	if o.StartCol < 1 || o.EndCol > part.Cols || o.StartCol > o.EndCol {
+		return nil, fmt.Errorf("parbit: column window %d..%d invalid for %s (1..%d)",
+			o.StartCol, o.EndCol, part.Name, part.Cols)
+	}
+	mem := frames.New(part)
+	stats, err := bitstream.Apply(mem, completeBitstream)
+	if err != nil {
+		return nil, fmt.Errorf("parbit: target bitstream: %w", err)
+	}
+	if stats.FramesWritten != part.TotalFrames() {
+		return nil, fmt.Errorf("parbit: target bitstream is not complete (%d of %d frames)",
+			stats.FramesWritten, part.TotalFrames())
+	}
+	rg := frames.Region{R1: 0, C1: o.StartCol - 1, R2: part.Rows - 1, C2: o.EndCol - 1}
+	return bitstream.WritePartialForFARs(mem, rg.FARs(part))
+}

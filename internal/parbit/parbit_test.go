@@ -1,0 +1,108 @@
+package parbit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/flow"
+	"repro/internal/frames"
+)
+
+func baseBitstream(t *testing.T) (*flow.BaseBuild, []byte) {
+	t.Helper()
+	base, err := flow.BuildBase(device.MustByName("XCV50"), []designs.Instance{
+		{Prefix: "u1/", Gen: designs.Counter{Bits: 5}},
+		{Prefix: "u2/", Gen: designs.LFSR{Bits: 5}},
+	}, flow.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, base.Bitstream
+}
+
+func TestParseOptions(t *testing.T) {
+	o, err := ParseOptions("# window\ntarget XCV50\ncol_start 3\ncol_end 8\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Part != "XCV50" || o.StartCol != 3 || o.EndCol != 8 {
+		t.Fatalf("options = %+v", o)
+	}
+	// Round trip.
+	o2, err := ParseOptions(o.Emit())
+	if err != nil || o2 != o {
+		t.Fatalf("emit round trip: %+v, %v", o2, err)
+	}
+	for _, bad := range []string{
+		"", "target XCV50", "col_start 1\ncol_end 2",
+		"target XCV50\ncol_start x\ncol_end 2", "bogus 1",
+	} {
+		if _, err := ParseOptions(bad); err == nil {
+			t.Errorf("ParseOptions(%q) should fail", bad)
+		}
+	}
+}
+
+func TestTransformExtractsWindow(t *testing.T) {
+	base, bs := baseBitstream(t)
+	rg := base.Regions["u1/"]
+	o := Options{Part: "XCV50", StartCol: rg.C1 + 1, EndCol: rg.C2 + 1}
+	partial, err := Transform(bs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial) >= len(bs) {
+		t.Fatal("extracted window not smaller than the complete bitstream")
+	}
+	// Applying the partial to a blank device yields exactly the window's
+	// frames of the original configuration.
+	p := device.MustByName("XCV50")
+	ref := frames.New(p)
+	if _, err := bitstream.Apply(ref, bs); err != nil {
+		t.Fatal(err)
+	}
+	got := frames.New(p)
+	if _, err := bitstream.Apply(got, partial); err != nil {
+		t.Fatal(err)
+	}
+	window := frames.Region{R1: 0, C1: rg.C1, R2: p.Rows - 1, C2: rg.C2}
+	inWindow := map[device.FAR]bool{}
+	for _, f := range window.FARs(p) {
+		inWindow[f] = true
+		if !got.FrameEqual(ref, f) {
+			t.Fatalf("window frame %v not extracted faithfully", f)
+		}
+	}
+	for _, f := range got.NonZeroFrames() {
+		if !inWindow[f] {
+			t.Fatalf("frame %v outside the window was written", f)
+		}
+	}
+}
+
+func TestTransformValidation(t *testing.T) {
+	_, bs := baseBitstream(t)
+	cases := []Options{
+		{Part: "XCV50", StartCol: 0, EndCol: 3},
+		{Part: "XCV50", StartCol: 5, EndCol: 4},
+		{Part: "XCV50", StartCol: 1, EndCol: 99},
+		{Part: "XCV9999", StartCol: 1, EndCol: 2},
+	}
+	for _, o := range cases {
+		if _, err := Transform(bs, o); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+	// Partial input rejected (PARBIT needs a complete target).
+	rg := Options{Part: "XCV50", StartCol: 1, EndCol: 4}
+	partial, err := Transform(bs, rg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transform(partial, rg); err == nil || !strings.Contains(err.Error(), "complete") {
+		t.Fatalf("partial target accepted: %v", err)
+	}
+}

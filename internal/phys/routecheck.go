@@ -1,0 +1,99 @@
+package phys
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/netlist"
+)
+
+// CheckRoutes verifies every non-trivial net is routed as a legal tree: the
+// PIPs form a connected, singly-driven tree from the net's source node to
+// every sink node, no PIP is unused, and no routing node is driven by two
+// different nets.
+func (d *Design) CheckRoutes() error {
+	nodeOwner := map[device.NodeID]*netlist.Net{}
+	for _, n := range d.Netlist.Nets {
+		if !n.Driven() {
+			continue
+		}
+		sinks, err := d.SinkNodes(n)
+		if err != nil {
+			return err
+		}
+		route := d.Routes[n]
+		if len(sinks) == 0 {
+			if route != nil && len(route.PIPs) > 0 {
+				return fmt.Errorf("phys: net %q has routing but no sinks", n.Name)
+			}
+			continue
+		}
+		if route == nil {
+			return fmt.Errorf("phys: net %q unrouted", n.Name)
+		}
+		src, err := d.SourceNode(n)
+		if err != nil {
+			return err
+		}
+		if n.IsClock {
+			if route.Global < 0 || route.Global >= device.NumGlobals {
+				return fmt.Errorf("phys: clock net %q not on a global line", n.Name)
+			}
+			src = d.Part.GlobalNode(route.Global)
+		}
+		if err := checkTree(d.Part, n, src, sinks, route.PIPs); err != nil {
+			return err
+		}
+		// Cross-net sharing: every driven node belongs to one net.
+		for _, pip := range route.PIPs {
+			if owner, taken := nodeOwner[pip.Dst]; taken && owner != n {
+				return fmt.Errorf("phys: node %s driven by nets %q and %q",
+					d.Part.NodeName(pip.Dst), owner.Name, n.Name)
+			}
+			nodeOwner[pip.Dst] = n
+		}
+	}
+	return nil
+}
+
+func checkTree(p *device.Part, n *netlist.Net, src device.NodeID, sinks []device.NodeID, pips []device.PIP) error {
+	g := device.NewGraph(p)
+	drivenBy := map[device.NodeID]device.PIP{}
+	adj := map[device.NodeID][]device.NodeID{}
+	for _, pip := range pips {
+		// PIP must exist in the owning tile's catalog.
+		if got, ok := g.FindPIP(pip.Row, pip.Col, pip.Src, pip.Dst); !ok || got.CatalogIdx != pip.CatalogIdx {
+			return fmt.Errorf("phys: net %q uses pip not in catalog (%s -> %s)",
+				n.Name, p.NodeName(pip.Src), p.NodeName(pip.Dst))
+		}
+		if _, dup := drivenBy[pip.Dst]; dup {
+			return fmt.Errorf("phys: net %q drives node %s twice", n.Name, p.NodeName(pip.Dst))
+		}
+		drivenBy[pip.Dst] = pip
+		adj[pip.Src] = append(adj[pip.Src], pip.Dst)
+	}
+	// BFS from source.
+	reached := map[device.NodeID]bool{src: true}
+	queue := []device.NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nxt := range adj[cur] {
+			if !reached[nxt] {
+				reached[nxt] = true
+				queue = append(queue, nxt)
+			}
+		}
+	}
+	for _, s := range sinks {
+		if !reached[s] {
+			return fmt.Errorf("phys: net %q does not reach sink %s", n.Name, p.NodeName(s))
+		}
+	}
+	for dst := range drivenBy {
+		if !reached[dst] {
+			return fmt.Errorf("phys: net %q has orphan routing at %s", n.Name, p.NodeName(dst))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Package place implements packing and placement: netlist cells are packed
+// into logic elements (LUT+FF pairs sharing a half-slice) and placed onto
+// CLB sites with a simulated-annealing engine minimising half-perimeter
+// wirelength, honouring UCF floorplan constraints (AREA_GROUP ranges and
+// instance LOCs) — the role MAP+PAR placement plays in the Xilinx flow.
+package place
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/ucf"
+)
+
+// le is a packed logic element: at most one LUT and one FF sharing a site.
+type le struct {
+	lut, ff *netlist.Cell
+	// group is the area-group name constraining the LE ("" = unconstrained).
+	group string
+	// fixed pins the LE to a slice (from an INST LOC); the LE index inside
+	// the slice remains free.
+	fixed    bool
+	fixedLoc ucf.SliceLoc
+}
+
+func (e *le) name() string {
+	switch {
+	case e.lut != nil:
+		return e.lut.Name
+	case e.ff != nil:
+		return e.ff.Name
+	}
+	return "<empty>"
+}
+
+// cells returns the LE's member cells.
+func (e *le) cells() []*netlist.Cell {
+	var out []*netlist.Cell
+	if e.lut != nil {
+		out = append(out, e.lut)
+	}
+	if e.ff != nil {
+		out = append(out, e.ff)
+	}
+	return out
+}
+
+// pack groups the netlist's cells into LEs. A DFF packs with the LUT driving
+// its D input when both are free and share an area group; everything else
+// gets its own LE.
+func pack(nl *netlist.Design, cons *ucf.Constraints) ([]*le, error) {
+	group := func(name string) string {
+		if cons == nil {
+			return ""
+		}
+		return cons.GroupOf(name)
+	}
+	paired := map[*netlist.Cell]*le{}
+	var les []*le
+
+	for _, c := range nl.SortedCells() {
+		if c.Kind != netlist.KindDFF {
+			continue
+		}
+		e := &le{ff: c, group: group(c.Name)}
+		if drv := c.Inputs[0].Driver.Cell; drv != nil && drv.Kind == netlist.KindLUT4 &&
+			paired[drv] == nil && group(drv.Name) == e.group {
+			e.lut = drv
+			paired[drv] = e
+		}
+		paired[c] = e
+		les = append(les, e)
+	}
+	for _, c := range nl.SortedCells() {
+		if c.Kind != netlist.KindLUT4 || paired[c] != nil {
+			continue
+		}
+		e := &le{lut: c, group: group(c.Name)}
+		paired[c] = e
+		les = append(les, e)
+	}
+
+	// Apply instance LOCs; members of one LE must agree.
+	if cons != nil {
+		for inst, loc := range cons.InstLocs {
+			c, ok := nl.Cell(inst)
+			if !ok {
+				return nil, fmt.Errorf("place: LOC for unknown instance %q", inst)
+			}
+			e := paired[c]
+			if e.fixed && e.fixedLoc != loc {
+				return nil, fmt.Errorf("place: conflicting LOCs for LE of %q (%v vs %v)",
+					inst, e.fixedLoc, loc)
+			}
+			e.fixed = true
+			e.fixedLoc = loc
+		}
+	}
+	return les, nil
+}
+
+// leOf builds the reverse map cell -> LE index.
+func leOf(les []*le) map[*netlist.Cell]int {
+	m := map[*netlist.Cell]int{}
+	for i, e := range les {
+		for _, c := range e.cells() {
+			m[c] = i
+		}
+	}
+	return m
+}

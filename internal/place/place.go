@@ -1,0 +1,536 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/device"
+	"repro/internal/frames"
+	"repro/internal/netlist"
+	"repro/internal/phys"
+	"repro/internal/ucf"
+)
+
+// Options configures a placement run.
+type Options struct {
+	// Seed drives every random choice; equal seeds give equal placements.
+	Seed int64
+	// Constraints carries the UCF floorplan (may be nil).
+	Constraints *ucf.Constraints
+	// Effort scales annealing iterations; 1.0 is the default, smaller is
+	// faster and sloppier.
+	Effort float64
+	// Guide seeds initial positions from a previous implementation (cell
+	// name -> site), the role of the Xilinx flow's guide files: re-placing
+	// a revised design starts from the old placement instead of randomness,
+	// so low-effort incremental runs converge to comparable quality.
+	Guide map[string]phys.Site
+}
+
+// Place packs and places the netlist on the part, returning a physical
+// design with Cells and Ports assigned (Routes left for the router).
+func Place(p *device.Part, nl *netlist.Design, opts Options) (*phys.Design, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Effort <= 0 {
+		opts.Effort = 1.0
+	}
+	cons := opts.Constraints
+	if cons != nil {
+		if err := cons.Validate(p); err != nil {
+			return nil, err
+		}
+	}
+	les, err := pack(nl, cons)
+	if err != nil {
+		return nil, err
+	}
+	pl := &placer{
+		part:  p,
+		nl:    nl,
+		les:   les,
+		cons:  cons,
+		guide: opts.Guide,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+	}
+	if err := pl.assignPads(); err != nil {
+		return nil, err
+	}
+	if err := pl.regions(); err != nil {
+		return nil, err
+	}
+	if err := pl.initial(); err != nil {
+		return nil, err
+	}
+	pl.anneal(opts.Effort)
+
+	d := phys.NewDesign(p, nl)
+	for i, e := range les {
+		site := pl.siteOf[i]
+		for _, c := range e.cells() {
+			d.Cells[c] = site
+		}
+	}
+	for _, port := range nl.Ports {
+		d.Ports[port] = pl.padOf[port]
+	}
+	if err := d.CheckPlacement(); err != nil {
+		return nil, fmt.Errorf("place: internal error: %w", err)
+	}
+	return d, nil
+}
+
+type placer struct {
+	part  *device.Part
+	nl    *netlist.Design
+	les   []*le
+	cons  *ucf.Constraints
+	guide map[string]phys.Site
+	rng   *rand.Rand
+
+	region []frames.Region // allowed region per LE
+	siteOf []phys.Site
+	occ    map[phys.Site]int // site -> LE index
+	padOf  map[*netlist.Port]device.Pad
+
+	cellLE map[*netlist.Cell]int
+	// netsOfLE caches the nets each LE touches (for incremental cost).
+	netsOfLE [][]*netlist.Net
+}
+
+// assignPads binds ports to pads: UCF NET LOCs first, then unconstrained
+// ports round-robin over remaining pads.
+func (pl *placer) assignPads() error {
+	pl.padOf = map[*netlist.Port]device.Pad{}
+	used := map[device.Pad]bool{}
+	for _, port := range pl.nl.Ports {
+		loc := port.Pad
+		if loc == "" && pl.cons != nil {
+			loc = pl.cons.NetLocs[port.Name]
+		}
+		if loc == "" {
+			continue
+		}
+		pd, err := device.ParsePad(loc)
+		if err != nil {
+			return fmt.Errorf("place: port %q: %w", port.Name, err)
+		}
+		if !pl.part.ValidPad(pd) {
+			return fmt.Errorf("place: port %q LOC %q not on %s", port.Name, loc, pl.part.Name)
+		}
+		if used[pd] {
+			return fmt.Errorf("place: pad %s assigned twice", pd.Name())
+		}
+		used[pd] = true
+		pl.padOf[port] = pd
+	}
+	next := 0
+	for _, port := range pl.nl.Ports {
+		if _, done := pl.padOf[port]; done {
+			continue
+		}
+		for ; next < pl.part.NumPads(); next++ {
+			pd := padAt(pl.part, next)
+			if !used[pd] {
+				used[pd] = true
+				pl.padOf[port] = pd
+				next++
+				break
+			}
+		}
+		if _, done := pl.padOf[port]; !done {
+			return fmt.Errorf("place: out of pads for %d ports on %s", len(pl.nl.Ports), pl.part.Name)
+		}
+	}
+	return nil
+}
+
+// padAt enumerates pads interleaved across edges so auto-assigned ports
+// spread around the perimeter.
+func padAt(p *device.Part, i int) device.Pad {
+	edges := []int{device.EdgeL, device.EdgeT, device.EdgeR, device.EdgeB}
+	e := edges[i%4]
+	k := i / 4
+	limit := p.Rows
+	if e == device.EdgeT || e == device.EdgeB {
+		limit = p.Cols
+	}
+	return device.Pad{Edge: e, Index: k % limit}
+}
+
+// regions resolves the allowed region of every LE and checks capacity.
+func (pl *placer) regions() error {
+	full := frames.FullRegion(pl.part)
+	pl.region = make([]frames.Region, len(pl.les))
+	demand := map[frames.Region]int{}
+	for i, e := range pl.les {
+		rg := full
+		if pl.cons != nil {
+			if r, ok := pl.cons.RegionFor(e.name()); ok {
+				rg = r
+			}
+		}
+		if e.fixed && !rg.Contains(e.fixedLoc.Row, e.fixedLoc.Col) {
+			return fmt.Errorf("place: LE %q LOC %v outside its AREA_GROUP range %v",
+				e.name(), e.fixedLoc, rg)
+		}
+		pl.region[i] = rg
+		demand[rg]++
+	}
+	for rg, n := range demand {
+		if cap := rg.CLBs() * 4; n > cap {
+			return fmt.Errorf("place: region %v holds %d LEs but needs %d", rg, cap, n)
+		}
+	}
+	return nil
+}
+
+// initial seeds the starting placement: fixed LOCs first, then guide
+// positions, then random legal sites for whatever remains.
+func (pl *placer) initial() error {
+	pl.siteOf = make([]phys.Site, len(pl.les))
+	pl.occ = map[phys.Site]int{}
+	placed := make([]bool, len(pl.les))
+	for i, e := range pl.les {
+		if !e.fixed {
+			continue
+		}
+		for leIdx := 0; leIdx < 2 && !placed[i]; leIdx++ {
+			s := phys.Site{Row: e.fixedLoc.Row, Col: e.fixedLoc.Col, Slice: e.fixedLoc.Slice, LE: leIdx}
+			if pl.legalAt(i, s) {
+				pl.put(i, s)
+				placed[i] = true
+			}
+		}
+		if !placed[i] {
+			return fmt.Errorf("place: cannot honour LOC %v for %q", pl.les[i].fixedLoc, e.name())
+		}
+	}
+	// Guided LEs take their previous sites when still legal.
+	if pl.guide != nil {
+		for i, e := range pl.les {
+			if placed[i] {
+				continue
+			}
+			if s, ok := pl.guideSite(e); ok && pl.legalAt(i, s) {
+				pl.put(i, s)
+				placed[i] = true
+			}
+		}
+	}
+	for i, e := range pl.les {
+		if placed[i] {
+			continue
+		}
+		s, ok := pl.randomFreeSite(i)
+		if !ok {
+			return fmt.Errorf("place: no free site for %q in %v", e.name(), pl.region[i])
+		}
+		pl.put(i, s)
+		placed[i] = true
+	}
+	pl.cellLE = leOf(pl.les)
+	pl.netsOfLE = make([][]*netlist.Net, len(pl.les))
+	for _, n := range pl.nl.Nets {
+		if n.IsClock || !n.Driven() {
+			continue
+		}
+		touched := map[int]bool{}
+		forEachNetCell(n, func(c *netlist.Cell) {
+			if idx, ok := pl.cellLE[c]; ok && !touched[idx] {
+				touched[idx] = true
+				pl.netsOfLE[idx] = append(pl.netsOfLE[idx], n)
+			}
+		})
+	}
+	return nil
+}
+
+func forEachNetCell(n *netlist.Net, f func(*netlist.Cell)) {
+	if n.Driver.Cell != nil {
+		f(n.Driver.Cell)
+	}
+	for _, s := range n.Sinks {
+		f(s.Cell)
+	}
+}
+
+func (pl *placer) put(i int, s phys.Site) {
+	pl.occ[s] = i
+	pl.siteOf[i] = s
+}
+
+// legalAt reports whether LE i may occupy site s (region, occupancy, and
+// slice clock compatibility).
+func (pl *placer) legalAt(i int, s phys.Site) bool {
+	if _, taken := pl.occ[s]; taken {
+		return false
+	}
+	if !pl.region[i].Contains(s.Row, s.Col) {
+		return false
+	}
+	e := pl.les[i]
+	if e.fixed && (e.fixedLoc.Row != s.Row || e.fixedLoc.Col != s.Col || e.fixedLoc.Slice != s.Slice) {
+		return false
+	}
+	// The two FFs of one slice share CLK/CE/SR pins.
+	if e.ff != nil {
+		other := phys.Site{Row: s.Row, Col: s.Col, Slice: s.Slice, LE: 1 - s.LE}
+		if oi, taken := pl.occ[other]; taken {
+			of := pl.les[oi].ff
+			if of != nil && !sameCtl(e.ff, of) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sameCtl(a, b *netlist.Cell) bool {
+	return a.Clock == b.Clock && a.CE == b.CE && a.Reset == b.Reset
+}
+
+func (pl *placer) randomFreeSite(i int) (phys.Site, bool) {
+	rg := pl.region[i]
+	for try := 0; try < 200; try++ {
+		s := phys.Site{
+			Row:   rg.R1 + pl.rng.Intn(rg.Rows()),
+			Col:   rg.C1 + pl.rng.Intn(rg.Cols()),
+			Slice: pl.rng.Intn(2),
+			LE:    pl.rng.Intn(2),
+		}
+		if pl.legalAt(i, s) {
+			return s, true
+		}
+	}
+	// Dense region: scan exhaustively.
+	for r := rg.R1; r <= rg.R2; r++ {
+		for c := rg.C1; c <= rg.C2; c++ {
+			for sl := 0; sl < 2; sl++ {
+				for leIdx := 0; leIdx < 2; leIdx++ {
+					s := phys.Site{Row: r, Col: c, Slice: sl, LE: leIdx}
+					if pl.legalAt(i, s) {
+						return s, true
+					}
+				}
+			}
+		}
+	}
+	return phys.Site{}, false
+}
+
+// netHPWL computes a net's half-perimeter wirelength over placed pins and
+// pads.
+func (pl *placer) netHPWL(n *netlist.Net) float64 {
+	minR, minC := math.MaxInt32, math.MaxInt32
+	maxR, maxC := -1, -1
+	add := func(r, c int) {
+		minR, minC = min(minR, r), min(minC, c)
+		maxR, maxC = max(maxR, r), max(maxC, c)
+	}
+	forEachNetCell(n, func(c *netlist.Cell) {
+		if idx, ok := pl.cellLE[c]; ok {
+			s := pl.siteOf[idx]
+			add(s.Row, s.Col)
+		}
+	})
+	if n.DriverPort != nil {
+		r, c := pl.part.PadTile(pl.padOf[n.DriverPort])
+		add(r, c)
+	}
+	for _, p := range n.SinkPorts {
+		r, c := pl.part.PadTile(pl.padOf[p])
+		add(r, c)
+	}
+	if maxR < 0 {
+		return 0
+	}
+	return float64(maxR-minR) + float64(maxC-minC)
+}
+
+func (pl *placer) totalCost() float64 {
+	cost := 0.0
+	for _, n := range pl.nl.Nets {
+		if !n.IsClock && n.Driven() {
+			cost += pl.netHPWL(n)
+		}
+	}
+	return cost
+}
+
+// anneal runs the simulated-annealing loop.
+func (pl *placer) anneal(effort float64) {
+	movable := make([]int, 0, len(pl.les))
+	for i, e := range pl.les {
+		if !e.fixed {
+			movable = append(movable, i)
+		}
+	}
+	if len(movable) == 0 {
+		return
+	}
+	// Estimate the cost scale with probing moves (always reverted, so a
+	// guided starting placement survives the calibration).
+	var deltas []float64
+	for t := 0; t < 50; t++ {
+		if d, ok := pl.tryMove(movable, measureOnly); ok {
+			deltas = append(deltas, math.Abs(d))
+		}
+	}
+	temp := 1.0
+	if len(deltas) > 0 {
+		sum := 0.0
+		for _, d := range deltas {
+			sum += d
+		}
+		temp = 2*sum/float64(len(deltas)) + 1
+	}
+	// Low effort means incremental refinement (e.g. guided re-placement):
+	// start nearly greedy instead of scrambling the seed at high
+	// temperature.
+	if effort < 1 {
+		temp = temp*effort + 0.01
+	}
+	movesPerT := int(effort * float64(max(64, 24*len(movable))))
+	for ; temp > 0.05; temp *= 0.9 {
+		accepted := 0
+		for m := 0; m < movesPerT; m++ {
+			if _, ok := pl.tryMove(movable, temp); ok {
+				accepted++
+			}
+		}
+		if accepted == 0 && temp < 1 {
+			break
+		}
+	}
+	// Greedy clean-up pass.
+	for m := 0; m < movesPerT; m++ {
+		pl.tryMove(movable, 0)
+	}
+}
+
+// measureOnly makes tryMove compute and report a proposal's delta without
+// keeping it, for temperature calibration.
+const measureOnly = -1.0
+
+// tryMove proposes one displacement or swap at temperature temp, applying it
+// per the Metropolis criterion. It returns the applied delta.
+func (pl *placer) tryMove(movable []int, temp float64) (float64, bool) {
+	i := movable[pl.rng.Intn(len(movable))]
+	rg := pl.region[i]
+	target := phys.Site{
+		Row:   rg.R1 + pl.rng.Intn(rg.Rows()),
+		Col:   rg.C1 + pl.rng.Intn(rg.Cols()),
+		Slice: pl.rng.Intn(2),
+		LE:    pl.rng.Intn(2),
+	}
+	from := pl.siteOf[i]
+	if target == from {
+		return 0, false
+	}
+	j, swap := pl.occ[target]
+	if swap {
+		if pl.les[j].fixed {
+			return 0, false
+		}
+		// The partner must be allowed at our site and vice versa.
+		if !pl.region[j].Contains(from.Row, from.Col) || !pl.region[i].Contains(target.Row, target.Col) {
+			return 0, false
+		}
+		if !pl.slicePairOK(i, target, j) || !pl.slicePairOK(j, from, i) {
+			return 0, false
+		}
+	} else if !pl.legalAt(i, target) {
+		return 0, false
+	}
+
+	affected := pl.affectedNets(i, j, swap)
+	before := 0.0
+	for _, n := range affected {
+		before += pl.netHPWL(n)
+	}
+	pl.apply(i, target, j, from, swap)
+	after := 0.0
+	for _, n := range affected {
+		after += pl.netHPWL(n)
+	}
+	delta := after - before
+	if temp == measureOnly {
+		pl.apply(i, from, j, target, swap)
+		return delta, true
+	}
+	if delta <= 0 || (temp > 0 && pl.rng.Float64() < math.Exp(-delta/temp)) {
+		return delta, true
+	}
+	// Revert.
+	pl.apply(i, from, j, target, swap)
+	return 0, false
+}
+
+// slicePairOK checks FF control compatibility for LE i landing at site s,
+// ignoring LE j (its swap partner).
+func (pl *placer) slicePairOK(i int, s phys.Site, j int) bool {
+	e := pl.les[i]
+	if e.ff == nil {
+		return true
+	}
+	other := phys.Site{Row: s.Row, Col: s.Col, Slice: s.Slice, LE: 1 - s.LE}
+	oi, taken := pl.occ[other]
+	if !taken || oi == j {
+		return true
+	}
+	of := pl.les[oi].ff
+	return of == nil || sameCtl(e.ff, of)
+}
+
+func (pl *placer) affectedNets(i, j int, swap bool) []*netlist.Net {
+	if !swap {
+		return pl.netsOfLE[i]
+	}
+	seen := map[*netlist.Net]bool{}
+	var out []*netlist.Net
+	for _, n := range pl.netsOfLE[i] {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, n := range pl.netsOfLE[j] {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (pl *placer) apply(i int, si phys.Site, j int, sj phys.Site, swap bool) {
+	delete(pl.occ, pl.siteOf[i])
+	if swap {
+		delete(pl.occ, pl.siteOf[j])
+	}
+	pl.put(i, si)
+	if swap {
+		pl.put(j, sj)
+	}
+}
+
+// guideSite resolves an LE's guide position: every member cell present in
+// the guide must agree on the site.
+func (pl *placer) guideSite(e *le) (phys.Site, bool) {
+	var site phys.Site
+	found := false
+	for _, c := range e.cells() {
+		s, ok := pl.guide[c.Name]
+		if !ok {
+			continue
+		}
+		if found && s != site {
+			return phys.Site{}, false
+		}
+		site, found = s, true
+	}
+	return site, found && site.Valid(pl.part)
+}

@@ -1,0 +1,53 @@
+package route
+
+import (
+	"repro/internal/device"
+	"repro/internal/frames"
+)
+
+// Region-constrained routing. A net constrained to a region may only use
+// routing resources whose configuration lives in the region's columns and
+// whose electrical extent stays controlled:
+//
+//   - per-tile wires of tiles inside the region;
+//   - pads adjacent to region tiles;
+//   - global lines (clock distribution is region-independent);
+//   - column long lines of region columns, only when the region spans the
+//     device's full height (otherwise the line crosses foreign rows);
+//   - row long lines of region rows, only when the region spans the full
+//     width.
+//
+// This is the containment discipline module-based partial reconfiguration
+// needs: everything a module's netlist configures then lives in its own
+// columns, so rewriting those columns swaps the module completely.
+
+// regionFilter returns an allow predicate for pips of a net constrained to
+// rg, or nil when unconstrained.
+func regionFilter(p *device.Part, rg *frames.Region) func(device.PIP) bool {
+	if rg == nil {
+		return nil
+	}
+	r := *rg
+	fullHeight := r.R1 == 0 && r.R2 == p.Rows-1
+	fullWidth := r.C1 == 0 && r.C2 == p.Cols-1
+	nodeOK := func(n device.NodeID) bool {
+		d := p.DescribeNode(n)
+		switch d.Kind {
+		case device.NodeWire:
+			return r.Contains(d.A, d.B)
+		case device.NodeGlobal:
+			return true
+		case device.NodeColLong:
+			return fullHeight && d.B >= r.C1 && d.B <= r.C2
+		case device.NodeRowLong:
+			return fullWidth && d.A >= r.R1 && d.A <= r.R2
+		case device.NodePadI, device.NodePadO:
+			pr, pc := p.PadTile(d.Pad)
+			return r.Contains(pr, pc)
+		}
+		return false
+	}
+	return func(pip device.PIP) bool {
+		return r.Contains(pip.Row, pip.Col) && nodeOK(pip.Src) && nodeOK(pip.Dst)
+	}
+}

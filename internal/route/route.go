@@ -1,0 +1,367 @@
+// Package route implements a PathFinder-style negotiated-congestion router
+// over the device routing graph: nets are routed by repeated A* searches,
+// sharing is permitted at first and then negotiated away through rising
+// present-sharing and history costs until every routing node has a single
+// owner — the role PAR routing plays in the Xilinx flow.
+//
+// Clock nets are not routed through the fabric: each distinct clock net is
+// assigned a global line and taps it at every sink's CLK pin, as on the real
+// device.
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/frames"
+	"repro/internal/netlist"
+	"repro/internal/phys"
+)
+
+// Options configures a routing run.
+type Options struct {
+	// MaxIters bounds PathFinder iterations (default 48).
+	MaxIters int
+	// PresentFactor and HistoryFactor tune congestion negotiation; zero
+	// values select defaults (0.6, 0.35).
+	PresentFactor, HistoryFactor float64
+	// RegionForNet optionally constrains nets to floorplan regions (see
+	// region.go); return nil for unconstrained nets. Clock nets are always
+	// unconstrained (they ride global lines).
+	RegionForNet func(n *netlist.Net) *frames.Region
+}
+
+// Route routes every net of the placed design, filling d.Routes. On success
+// the routes pass phys.(*Design).CheckRoutes.
+func Route(d *phys.Design, opts Options) error {
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 48
+	}
+	if opts.PresentFactor <= 0 {
+		opts.PresentFactor = 0.6
+	}
+	if opts.HistoryFactor <= 0 {
+		opts.HistoryFactor = 0.35
+	}
+	r := &router{
+		d:    d,
+		g:    device.NewGraph(d.Part),
+		opts: opts,
+	}
+	if err := r.routeClocks(); err != nil {
+		return err
+	}
+	if err := r.routeFabric(); err != nil {
+		return err
+	}
+	return d.CheckRoutes()
+}
+
+type router struct {
+	d    *phys.Design
+	g    *device.Graph
+	opts Options
+
+	occ  []int32   // present usage per node
+	hist []float64 // accumulated history cost per node
+
+	// A* scratch, epoch-tagged to avoid clearing between searches.
+	dist    []float64
+	prevPIP []device.PIP // arriving pip per node; Row == -1 marks a tree root
+	seen    []int32
+	epoch   int32
+}
+
+// routeClocks assigns distinct clock nets to global lines and taps them.
+func (r *router) routeClocks() error {
+	var clocks []*netlist.Net
+	for _, n := range r.d.Netlist.SortedNets() {
+		if n.IsClock && n.Driven() {
+			clocks = append(clocks, n)
+		}
+	}
+	if len(clocks) > device.NumGlobals {
+		return fmt.Errorf("route: %d clock nets exceed %d global lines", len(clocks), device.NumGlobals)
+	}
+	for gi, n := range clocks {
+		if n.Driver.Cell != nil {
+			return fmt.Errorf("route: clock net %q driven by logic; gated clocks are unsupported", n.Name)
+		}
+		sinks, err := r.d.SinkNodes(n)
+		if err != nil {
+			return err
+		}
+		route := &phys.Route{Net: n, Global: gi}
+		src := r.d.Part.GlobalNode(gi)
+		for _, sink := range sinks {
+			row, col, _, ok := r.d.Part.NodeTile(sink)
+			if !ok {
+				return fmt.Errorf("route: clock net %q sink %s is not a pin", n.Name, r.d.Part.NodeName(sink))
+			}
+			pip, ok := r.d.Part.FindPIP(row, col, src, sink)
+			if !ok {
+				return fmt.Errorf("route: no global tap for %s", r.d.Part.NodeName(sink))
+			}
+			route.PIPs = append(route.PIPs, pip)
+		}
+		r.d.Routes[n] = route
+	}
+	return nil
+}
+
+// fabricNet is one net scheduled for PathFinder routing.
+type fabricNet struct {
+	net   *netlist.Net
+	src   device.NodeID
+	sinks []device.NodeID
+	allow func(device.PIP) bool // nil = unconstrained
+	tree  []treeEdge            // current routing
+}
+
+type treeEdge struct {
+	pip  device.PIP
+	node device.NodeID // == pip.Dst
+}
+
+func (r *router) routeFabric() error {
+	part := r.d.Part
+	n := part.NumNodes()
+	r.occ = make([]int32, n)
+	r.hist = make([]float64, n)
+	r.dist = make([]float64, n)
+	r.prevPIP = make([]device.PIP, n)
+	r.seen = make([]int32, n)
+
+	var nets []*fabricNet
+	for _, net := range r.d.Netlist.SortedNets() {
+		if net.IsClock || !net.Driven() {
+			continue
+		}
+		sinks, err := r.d.SinkNodes(net)
+		if err != nil {
+			return err
+		}
+		if len(sinks) == 0 {
+			continue
+		}
+		src, err := r.d.SourceNode(net)
+		if err != nil {
+			return err
+		}
+		fn := &fabricNet{net: net, src: src, sinks: sinks}
+		if r.opts.RegionForNet != nil {
+			fn.allow = regionFilter(part, r.opts.RegionForNet(net))
+		}
+		nets = append(nets, fn)
+	}
+	// High-fanout first: they negotiate the scarce resources.
+	sort.SliceStable(nets, func(i, j int) bool { return len(nets[i].sinks) > len(nets[j].sinks) })
+
+	presentFac := r.opts.PresentFactor
+	for iter := 0; iter < r.opts.MaxIters; iter++ {
+		for _, fn := range nets {
+			r.ripUp(fn)
+			if err := r.routeNet(fn, presentFac); err != nil {
+				return fmt.Errorf("route: iteration %d: %w", iter, err)
+			}
+		}
+		over := r.overusedNodes()
+		if over == 0 {
+			r.commit(nets)
+			return nil
+		}
+		// Sharpen penalties and accumulate history on congested nodes.
+		presentFac *= 1.7
+		for i := range r.occ {
+			if r.occ[i] > 1 {
+				r.hist[i] += r.opts.HistoryFactor * float64(r.occ[i]-1)
+			}
+		}
+	}
+	return fmt.Errorf("route: congestion unresolved after %d iterations (%d overused nodes)",
+		r.opts.MaxIters, r.overusedNodes())
+}
+
+func (r *router) overusedNodes() int {
+	over := 0
+	for _, u := range r.occ {
+		if u > 1 {
+			over++
+		}
+	}
+	return over
+}
+
+func (r *router) ripUp(fn *fabricNet) {
+	for _, te := range fn.tree {
+		r.occ[te.node]--
+	}
+	fn.tree = fn.tree[:0]
+}
+
+// commit writes final routes into the design.
+func (r *router) commit(nets []*fabricNet) {
+	for _, fn := range nets {
+		route := &phys.Route{Net: fn.net, Global: -1}
+		for _, te := range fn.tree {
+			route.PIPs = append(route.PIPs, te.pip)
+		}
+		r.d.Routes[fn.net] = route
+	}
+}
+
+// nodeCost is the congestion-aware cost of claiming a node.
+func (r *router) nodeCost(node device.NodeID, presentFac float64) float64 {
+	base := 1.0 + r.hist[node]
+	sharing := float64(r.occ[node]) // claims already held by others
+	return base * (1 + presentFac*sharing)
+}
+
+// routeNet routes all sinks of one net, growing a tree.
+func (r *router) routeNet(fn *fabricNet, presentFac float64) error {
+	treeNodes := []device.NodeID{fn.src}
+	for _, sink := range fn.sinks {
+		path, err := r.search(treeNodes, sink, presentFac, fn.allow)
+		if err != nil {
+			return fmt.Errorf("net %q to %s: %w", fn.net.Name, r.d.Part.NodeName(sink), err)
+		}
+		for _, te := range path {
+			fn.tree = append(fn.tree, te)
+			r.occ[te.node]++
+			treeNodes = append(treeNodes, te.node)
+		}
+	}
+	return nil
+}
+
+// treeRootPIP marks tree roots in prevPIP.
+var treeRootPIP = device.PIP{Row: -1}
+
+// search finds a cheapest path from any tree node to the target using A*.
+// It returns the new edges in source-to-sink order.
+func (r *router) search(tree []device.NodeID, target device.NodeID, presentFac float64, allow func(device.PIP) bool) ([]treeEdge, error) {
+	part := r.d.Part
+	r.epoch++
+	tRow, tCol, _, tIsTile := part.NodeTile(target)
+
+	h := func(n device.NodeID) float64 {
+		if !tIsTile {
+			return 0
+		}
+		row, col, _, ok := part.NodeTile(n)
+		if !ok {
+			return 0
+		}
+		d := abs(row-tRow) + abs(col-tCol)
+		return float64(d) / 6.0 // hex wires cover 6 tiles per node: keep admissible
+	}
+
+	var pq pipHeap
+	for _, n := range tree {
+		r.dist[n] = 0
+		r.prevPIP[n] = treeRootPIP
+		r.seen[n] = r.epoch
+		pq.push(pqItem{node: n, prio: h(n)})
+	}
+	for pq.len() > 0 {
+		cur := pq.pop()
+		if cur.node == target {
+			return r.unwind(target), nil
+		}
+		if cur.cost > r.dist[cur.node] {
+			continue // stale entry
+		}
+		for _, pip := range r.g.From(cur.node) {
+			if allow != nil && !allow(pip) {
+				continue
+			}
+			nd := cur.cost + r.nodeCost(pip.Dst, presentFac)
+			if r.seen[pip.Dst] == r.epoch && nd >= r.dist[pip.Dst] {
+				continue
+			}
+			r.seen[pip.Dst] = r.epoch
+			r.dist[pip.Dst] = nd
+			r.prevPIP[pip.Dst] = pip
+			pq.push(pqItem{node: pip.Dst, cost: nd, prio: nd + h(pip.Dst)})
+		}
+	}
+	return nil, fmt.Errorf("no path")
+}
+
+// unwind reconstructs the path, stopping at a tree root.
+func (r *router) unwind(target device.NodeID) []treeEdge {
+	var rev []treeEdge
+	node := target
+	for {
+		pip := r.prevPIP[node]
+		if pip.Row < 0 {
+			break
+		}
+		rev = append(rev, treeEdge{pip: pip, node: node})
+		node = pip.Src
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// pqItem is an A* frontier entry.
+type pqItem struct {
+	node device.NodeID
+	cost float64 // g-cost at push time
+	prio float64 // g + h
+}
+
+// pipHeap is a plain binary min-heap on prio; the stdlib container/heap
+// interface costs an allocation per push via the interface boundary, which
+// matters in the router's inner loop.
+type pipHeap struct {
+	items []pqItem
+}
+
+func (h *pipHeap) len() int { return len(h.items) }
+
+func (h *pipHeap) push(it pqItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].prio <= h.items[i].prio {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *pipHeap) pop() pqItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.items[l].prio < h.items[smallest].prio {
+			smallest = l
+		}
+		if r < len(h.items) && h.items[r].prio < h.items[smallest].prio {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

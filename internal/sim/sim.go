@@ -1,0 +1,176 @@
+// Package sim is a cycle-based functional simulator for technology-mapped
+// netlists. It evaluates LUT networks combinationally in topological order
+// and advances flip-flops on explicit clock steps. The CAD-flow tests use it
+// to show mapped designs compute what their generators intended, and the
+// equivalence experiments use it to compare designs extracted from
+// configuration memory against their sources.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Simulator holds the evaluation state of one design.
+type Simulator struct {
+	Design *netlist.Design
+
+	order  []*netlist.Cell // LUTs in topological order
+	values map[*netlist.Net]bool
+	ff     map[*netlist.Cell]bool
+}
+
+// New builds a simulator, ordering the combinational network. It returns an
+// error if the LUT network has a combinational cycle.
+func New(d *netlist.Design) (*Simulator, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := topoLUTs(d)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		Design: d,
+		order:  order,
+		values: make(map[*netlist.Net]bool, len(d.Nets)),
+		ff:     map[*netlist.Cell]bool{},
+	}
+	for _, c := range d.Cells {
+		if c.Kind == netlist.KindDFF {
+			s.ff[c] = c.Init&1 == 1
+		}
+	}
+	return s, nil
+}
+
+// topoLUTs orders LUT cells so every LUT's fabric inputs are computed before
+// it. DFF outputs and input ports are sources.
+func topoLUTs(d *netlist.Design) ([]*netlist.Cell, error) {
+	indeg := map[*netlist.Cell]int{}
+	deps := map[*netlist.Cell][]*netlist.Cell{} // driver LUT -> dependent LUTs
+	var ready []*netlist.Cell
+	for _, c := range d.SortedCells() {
+		if c.Kind != netlist.KindLUT4 {
+			continue
+		}
+		n := 0
+		for _, in := range c.Inputs {
+			if drv := in.Driver.Cell; drv != nil && drv.Kind == netlist.KindLUT4 {
+				deps[drv] = append(deps[drv], c)
+				n++
+			}
+		}
+		indeg[c] = n
+		if n == 0 {
+			ready = append(ready, c)
+		}
+	}
+	var order []*netlist.Cell
+	for len(ready) > 0 {
+		c := ready[0]
+		ready = ready[1:]
+		order = append(order, c)
+		for _, dep := range deps[c] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+	}
+	if len(order) != len(indeg) {
+		return nil, fmt.Errorf("sim: combinational cycle through %d LUTs", len(indeg)-len(order))
+	}
+	return order, nil
+}
+
+// SetInput drives an input port.
+func (s *Simulator) SetInput(port string, v bool) error {
+	p, ok := s.Design.Port(port)
+	if !ok || p.Dir != netlist.In {
+		return fmt.Errorf("sim: no input port %q", port)
+	}
+	s.values[p.Net] = v
+	return nil
+}
+
+// SetInputVec drives ports named prefix0..prefixN-1 from the bits of v.
+func (s *Simulator) SetInputVec(prefix string, width int, v uint64) error {
+	for i := 0; i < width; i++ {
+		if err := s.SetInput(fmt.Sprintf("%s%d", prefix, i), v>>i&1 == 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Eval propagates the combinational network from current inputs and FF
+// states.
+func (s *Simulator) Eval() {
+	for c, v := range s.ff {
+		s.values[c.Out] = v
+	}
+	for _, c := range s.order {
+		idx := 0
+		for k, in := range c.Inputs {
+			if s.values[in] {
+				idx |= 1 << k
+			}
+		}
+		s.values[c.Out] = c.Init>>idx&1 == 1
+	}
+}
+
+// Step evaluates, then advances every flip-flop one clock edge (respecting
+// CE and synchronous reset where connected).
+func (s *Simulator) Step() {
+	s.Eval()
+	next := make(map[*netlist.Cell]bool, len(s.ff))
+	for c := range s.ff {
+		v := s.ff[c]
+		enabled := c.CE == nil || s.values[c.CE]
+		if c.Reset != nil && s.values[c.Reset] {
+			v = c.Init&1 == 1
+		} else if enabled {
+			v = s.values[c.Inputs[0]]
+		}
+		next[c] = v
+	}
+	s.ff = next
+	s.Eval()
+}
+
+// Reset returns every flip-flop to its init value.
+func (s *Simulator) Reset() {
+	for c := range s.ff {
+		s.ff[c] = c.Init&1 == 1
+	}
+}
+
+// Value reads a net's current value (after Eval/Step).
+func (s *Simulator) Value(n *netlist.Net) bool { return s.values[n] }
+
+// Output reads an output port.
+func (s *Simulator) Output(port string) (bool, error) {
+	p, ok := s.Design.Port(port)
+	if !ok || p.Dir != netlist.Out {
+		return false, fmt.Errorf("sim: no output port %q", port)
+	}
+	return s.values[p.Net], nil
+}
+
+// OutputVec reads ports prefix0..prefixN-1 as an integer.
+func (s *Simulator) OutputVec(prefix string, width int) (uint64, error) {
+	var v uint64
+	for i := 0; i < width; i++ {
+		b, err := s.Output(fmt.Sprintf("%s%d", prefix, i))
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			v |= 1 << i
+		}
+	}
+	return v, nil
+}

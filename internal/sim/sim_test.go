@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestCombinationalChain(t *testing.T) {
+	d := netlist.NewDesign("t")
+	a, _ := d.AddPort("a", netlist.In, nil)
+	// Chain of inverters: y = not(not(not(a))).
+	n := a.Net
+	for i := 0; i < 3; i++ {
+		lut, err := d.AddLUT("inv"+string(rune('0'+i)), 0x5555, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n = lut.Out
+	}
+	if _, err := d.AddPort("y", netlist.Out, n); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []bool{false, true} {
+		if err := s.SetInput("a", in); err != nil {
+			t.Fatal(err)
+		}
+		s.Eval()
+		got, _ := s.Output("y")
+		if got != !in {
+			t.Fatalf("inv chain: a=%v y=%v", in, got)
+		}
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	d := netlist.NewDesign("t")
+	a, _ := d.AddPort("a", netlist.In, nil)
+	l1, _ := d.AddLUT("l1", 0x8888, a.Net, a.Net)
+	l2, _ := d.AddLUT("l2", 0x8888, l1.Out, a.Net)
+	// Close a combinational loop: rewire l1's input 0 to l2's output.
+	l1.Inputs[0] = l2.Out
+	l2.Out.Sinks = append(l2.Out.Sinks, netlist.PinRef{Cell: l1, Pin: "I0"})
+	if _, err := New(d); err == nil {
+		t.Fatal("combinational cycle not detected")
+	}
+}
+
+func TestToggleFF(t *testing.T) {
+	d := netlist.NewDesign("t")
+	clk, _ := d.AddPort("clk", netlist.In, nil)
+	// q' = not q: toggle flip-flop.
+	dnet := d.NewNet("d")
+	ff, err := d.AddDFF("ff", dnet, clk.Net, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := d.AddLUT("inv", 0x5555, ff.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewire the DFF's data input to the inverter output, dropping the
+	// placeholder net entirely.
+	ff.Inputs[0] = inv.Out
+	inv.Out.Sinks = append(inv.Out.Sinks, netlist.PinRef{Cell: ff, Pin: "D"})
+	dnet.Sinks = nil
+	if _, err := d.AddPort("q", netlist.Out, ff.Out); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Eval()
+	want := false
+	for cyc := 0; cyc < 6; cyc++ {
+		got, _ := s.Output("q")
+		if got != want {
+			t.Fatalf("cycle %d: q=%v want %v", cyc, got, want)
+		}
+		s.Step()
+		want = !want
+	}
+	s.Reset()
+	s.Eval()
+	if got, _ := s.Output("q"); got {
+		t.Fatal("reset did not restore init value")
+	}
+}
+
+func TestCEAndSyncReset(t *testing.T) {
+	d := netlist.NewDesign("t")
+	clk, _ := d.AddPort("clk", netlist.In, nil)
+	din, _ := d.AddPort("d", netlist.In, nil)
+	ce, _ := d.AddPort("ce", netlist.In, nil)
+	rst, _ := d.AddPort("rst", netlist.In, nil)
+	ff, err := d.AddDFF("ff", din.Net, clk.Net, ce.Net, rst.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPort("q", netlist.Out, ff.Out); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := func(dv, cev, rv bool) {
+		s.SetInput("d", dv)
+		s.SetInput("ce", cev)
+		s.SetInput("rst", rv)
+	}
+	set(true, true, false)
+	s.Step()
+	if q, _ := s.Output("q"); !q {
+		t.Fatal("enabled FF did not capture")
+	}
+	set(false, false, false) // CE low: hold
+	s.Step()
+	if q, _ := s.Output("q"); !q {
+		t.Fatal("disabled FF lost its value")
+	}
+	set(true, true, true) // reset dominates
+	s.Step()
+	if q, _ := s.Output("q"); q {
+		t.Fatal("sync reset did not clear FF")
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	d := netlist.NewDesign("t")
+	var outs []*netlist.Net
+	for i := 0; i < 4; i++ {
+		p, _ := d.AddPort("a"+string(rune('0'+i)), netlist.In, nil)
+		inv, err := d.AddLUT("inv"+string(rune('0'+i)), 0x5555, p.Net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, inv.Out)
+	}
+	for i, n := range outs {
+		if _, err := d.AddPort("y"+string(rune('0'+i)), netlist.Out, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInputVec("a", 4, 0b1010); err != nil {
+		t.Fatal(err)
+	}
+	s.Eval()
+	v, err := s.OutputVec("y", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0b0101 {
+		t.Fatalf("OutputVec = %04b, want 0101", v)
+	}
+}
+
+func TestUnknownPortErrors(t *testing.T) {
+	d := netlist.NewDesign("t")
+	a, _ := d.AddPort("a", netlist.In, nil)
+	lut, _ := d.AddLUT("l", 0x5555, a.Net)
+	d.AddPort("y", netlist.Out, lut.Out)
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInput("nope", true); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+	if err := s.SetInput("y", true); err == nil {
+		t.Fatal("driving an output port accepted")
+	}
+	if _, err := s.Output("a"); err == nil {
+		t.Fatal("reading an input port as output accepted")
+	}
+}

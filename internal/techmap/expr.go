@@ -1,0 +1,130 @@
+// Package techmap maps Boolean expressions onto networks of 4-input LUTs,
+// the technology-mapping stage of the CAD flow. Expressions reference nets
+// of a netlist under construction; MapExpr covers an expression with LUT4
+// cells and returns the net carrying its value.
+package techmap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Expr is a Boolean expression tree over nets.
+type Expr interface {
+	// support accumulates the distinct leaf nets of the expression.
+	support(set map[*netlist.Net]bool)
+	// eval evaluates the expression under an assignment of leaf nets.
+	eval(assign map[*netlist.Net]bool) bool
+}
+
+type varExpr struct{ net *netlist.Net }
+type constExpr struct{ v bool }
+type notExpr struct{ e Expr }
+type naryExpr struct {
+	op  byte // '&', '|', '^'
+	ops []Expr
+}
+
+// Var references a net as an expression leaf.
+func Var(n *netlist.Net) Expr { return varExpr{n} }
+
+// Const is a constant expression.
+func Const(v bool) Expr { return constExpr{v} }
+
+// Not negates an expression.
+func Not(e Expr) Expr { return notExpr{e} }
+
+// And, Or and Xor combine expressions (variadic, at least one operand).
+func And(es ...Expr) Expr { return naryExpr{'&', es} }
+func Or(es ...Expr) Expr  { return naryExpr{'|', es} }
+func Xor(es ...Expr) Expr { return naryExpr{'^', es} }
+
+// Eq builds an equality comparator between a net vector and a constant.
+func Eq(nets []*netlist.Net, value uint64) Expr {
+	terms := make([]Expr, len(nets))
+	for i, n := range nets {
+		if value>>i&1 == 1 {
+			terms[i] = Var(n)
+		} else {
+			terms[i] = Not(Var(n))
+		}
+	}
+	return And(terms...)
+}
+
+// Mux returns sel ? a : b.
+func Mux(sel, a, b Expr) Expr {
+	return Or(And(sel, a), And(Not(sel), b))
+}
+
+func (e varExpr) support(set map[*netlist.Net]bool) { set[e.net] = true }
+func (e varExpr) eval(a map[*netlist.Net]bool) bool { return a[e.net] }
+
+func (e constExpr) support(map[*netlist.Net]bool)   {}
+func (e constExpr) eval(map[*netlist.Net]bool) bool { return e.v }
+func (e notExpr) support(set map[*netlist.Net]bool) { e.e.support(set) }
+func (e notExpr) eval(a map[*netlist.Net]bool) bool { return !e.e.eval(a) }
+func (e naryExpr) support(set map[*netlist.Net]bool) {
+	for _, o := range e.ops {
+		o.support(set)
+	}
+}
+
+func (e naryExpr) eval(a map[*netlist.Net]bool) bool {
+	if len(e.ops) == 0 {
+		// Identity elements: AND() = true, OR() = XOR() = false.
+		return e.op == '&'
+	}
+	acc := e.ops[0].eval(a)
+	for _, o := range e.ops[1:] {
+		v := o.eval(a)
+		switch e.op {
+		case '&':
+			acc = acc && v
+		case '|':
+			acc = acc || v
+		case '^':
+			acc = acc != v
+		}
+	}
+	return acc
+}
+
+// Support returns the expression's distinct leaf nets in deterministic
+// (name) order.
+func Support(e Expr) []*netlist.Net {
+	set := map[*netlist.Net]bool{}
+	e.support(set)
+	out := make([]*netlist.Net, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TruthTable evaluates an expression with support of at most 4 nets into a
+// LUT4 init value: bit i = value when inputs[k] = bit k of i.
+func TruthTable(e Expr, inputs []*netlist.Net) (uint16, error) {
+	if len(inputs) > 4 {
+		return 0, fmt.Errorf("techmap: truth table over %d inputs", len(inputs))
+	}
+	var tt uint16
+	assign := map[*netlist.Net]bool{}
+	for i := 0; i < 1<<len(inputs); i++ {
+		for k, n := range inputs {
+			assign[n] = i>>k&1 == 1
+		}
+		if e.eval(assign) {
+			tt |= 1 << i
+		}
+	}
+	// Unused LUT entries replicate the pattern so the value is independent
+	// of floating inputs.
+	for w := len(inputs); w < 4; w++ {
+		tt |= tt << (1 << w)
+	}
+	return tt, nil
+}

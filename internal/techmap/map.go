@@ -1,0 +1,160 @@
+package techmap
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Mapper covers expressions with LUT4s inside one design, generating cells
+// with a common name prefix so module membership is visible downstream (the
+// floorplanner constrains cells by name prefix).
+type Mapper struct {
+	Design *Design
+	// Prefix is prepended to generated cell names, e.g. "u1/".
+	Prefix string
+	serial int
+}
+
+// Design aliases netlist.Design for readability.
+type Design = netlist.Design
+
+// NewMapper returns a mapper emitting cells named Prefix + "lut<N>".
+func NewMapper(d *Design, prefix string) *Mapper {
+	return &Mapper{Design: d, Prefix: prefix}
+}
+
+func (m *Mapper) fresh() string {
+	m.serial++
+	return fmt.Sprintf("%slut%d", m.Prefix, m.serial)
+}
+
+// MapExpr covers e with LUT4s and returns the net carrying its value.
+// Expressions whose support exceeds 4 nets are decomposed: n-ary operators
+// are split into balanced trees of at-most-4-input gates, with operand
+// subexpressions mapped first.
+func (m *Mapper) MapExpr(name string, e Expr) (*netlist.Net, error) {
+	sup := Support(e)
+	if len(sup) <= 4 {
+		if len(sup) == 0 {
+			// Constant: a LUT with a constant table, fed by any net, would
+			// need a dummy input; model constants as a 1-input LUT on
+			// itself is impossible, so reject — generators tie constants
+			// structurally instead.
+			return nil, fmt.Errorf("techmap: %q is a constant expression; tie it structurally", name)
+		}
+		tt, err := TruthTable(e, sup)
+		if err != nil {
+			return nil, err
+		}
+		cell, err := m.Design.AddLUT(m.cellName(name), tt, sup...)
+		if err != nil {
+			return nil, err
+		}
+		return cell.Out, nil
+	}
+
+	switch ex := e.(type) {
+	case notExpr:
+		inner, err := m.MapExpr(name+"_n", ex.e)
+		if err != nil {
+			return nil, err
+		}
+		return m.MapExpr(name, Not(Var(inner)))
+	case naryExpr:
+		// Map each operand to a net, then reduce with 4-ary gates.
+		nets := make([]Expr, 0, len(ex.ops))
+		for i, op := range ex.ops {
+			opSup := Support(op)
+			if len(opSup) <= 4 {
+				nets = append(nets, op)
+				continue
+			}
+			n, err := m.MapExpr(fmt.Sprintf("%s_t%d", name, i), op)
+			if err != nil {
+				return nil, err
+			}
+			nets = append(nets, Var(n))
+		}
+		return m.reduce(name, ex.op, nets)
+	case varExpr, constExpr:
+		return nil, fmt.Errorf("techmap: leaf with support > 4 is impossible")
+	default:
+		return nil, fmt.Errorf("techmap: unknown expression type %T", e)
+	}
+}
+
+// reduce combines operand expressions (each with support <= 4) with a tree
+// of at-most-4-input gates. Operands that are not plain net references are
+// first materialised as LUTs, then the resulting nets are reduced 4 at a
+// time, which guarantees progress.
+func (m *Mapper) reduce(name string, op byte, ops []Expr) (*netlist.Net, error) {
+	nets := make([]*netlist.Net, 0, len(ops))
+	for i, o := range ops {
+		if v, isVar := o.(varExpr); isVar {
+			nets = append(nets, v.net)
+			continue
+		}
+		n, err := m.MapExpr(fmt.Sprintf("%s_o%d", name, i), o)
+		if err != nil {
+			return nil, err
+		}
+		nets = append(nets, n)
+	}
+	for len(nets) > 4 {
+		var next []*netlist.Net
+		for i := 0; i < len(nets); i += 4 {
+			group := nets[i:min(i+4, len(nets))]
+			if len(group) == 1 {
+				next = append(next, group[0])
+				continue
+			}
+			n, err := m.gate(m.fresh(), op, group)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, n)
+		}
+		nets = next
+	}
+	return m.gate(m.cellName(name), op, nets)
+}
+
+// gate emits a single LUT computing op over 1..4 nets.
+func (m *Mapper) gate(cellName string, op byte, nets []*netlist.Net) (*netlist.Net, error) {
+	exprs := make([]Expr, len(nets))
+	for i, n := range nets {
+		exprs[i] = Var(n)
+	}
+	e := naryExpr{op, exprs}
+	tt, err := TruthTable(e, nets)
+	if err != nil {
+		return nil, err
+	}
+	cell, err := m.Design.AddLUT(cellName, tt, nets...)
+	if err != nil {
+		return nil, err
+	}
+	return cell.Out, nil
+}
+
+func (m *Mapper) cellName(name string) string {
+	if name == "" {
+		return m.fresh()
+	}
+	return m.Prefix + name
+}
+
+// MapRegistered maps an expression and registers it: a DFF clocked by clock
+// captures the LUT network's output. It returns the registered (Q) net.
+func (m *Mapper) MapRegistered(name string, e Expr, clock *netlist.Net) (*netlist.Net, error) {
+	d, err := m.MapExpr(name+"_d", e)
+	if err != nil {
+		return nil, err
+	}
+	ff, err := m.Design.AddDFF(m.Prefix+name, d, clock, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ff.Out, nil
+}

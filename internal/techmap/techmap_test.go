@@ -1,0 +1,218 @@
+package techmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// buildInputs creates a design with n input ports a0..a(n-1).
+func buildInputs(t *testing.T, n int) (*Design, []*netlist.Net) {
+	t.Helper()
+	d := netlist.NewDesign("t")
+	nets := make([]*netlist.Net, n)
+	for i := range nets {
+		p, err := d.AddPort(fmt.Sprintf("a%d", i), netlist.In, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[i] = p.Net
+	}
+	return d, nets
+}
+
+// checkEquivalence exhaustively compares the mapped network against the
+// expression over all input assignments.
+func checkEquivalence(t *testing.T, d *Design, ins []*netlist.Net, e Expr, out *netlist.Net) {
+	t.Helper()
+	if _, err := d.AddPort("y", netlist.Out, out); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := map[*netlist.Net]bool{}
+	for v := 0; v < 1<<len(ins); v++ {
+		for i := range ins {
+			bit := v>>i&1 == 1
+			if err := s.SetInput(fmt.Sprintf("a%d", i), bit); err != nil {
+				t.Fatal(err)
+			}
+			assign[ins[i]] = bit
+		}
+		s.Eval()
+		got, err := s.Output("y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := e.eval(assign); got != want {
+			t.Fatalf("input %0*b: mapped=%v expr=%v", len(ins), v, got, want)
+		}
+	}
+}
+
+func TestMapSmallExpr(t *testing.T) {
+	d, ins := buildInputs(t, 3)
+	e := Or(And(Var(ins[0]), Var(ins[1])), Not(Var(ins[2])))
+	out, err := NewMapper(d, "u/").MapExpr("f", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().LUTs; got != 1 {
+		t.Fatalf("3-input expression used %d LUTs, want 1", got)
+	}
+	checkEquivalence(t, d, ins, e, out)
+}
+
+func TestMapWideAnd(t *testing.T) {
+	d, ins := buildInputs(t, 11)
+	terms := make([]Expr, len(ins))
+	for i, n := range ins {
+		terms[i] = Var(n)
+	}
+	e := And(terms...)
+	out, err := NewMapper(d, "u/").MapExpr("wide", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalence(t, d, ins, e, out)
+}
+
+func TestMapWideXorOfProducts(t *testing.T) {
+	d, ins := buildInputs(t, 9)
+	e := Xor(
+		And(Var(ins[0]), Var(ins[1]), Var(ins[2])),
+		And(Var(ins[3]), Not(Var(ins[4])), Var(ins[5])),
+		Or(Var(ins[6]), Var(ins[7]), Var(ins[8])),
+	)
+	out, err := NewMapper(d, "u/").MapExpr("xp", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalence(t, d, ins, e, out)
+}
+
+// randExpr builds a random expression tree over the given nets.
+func randExpr(rng *rand.Rand, ins []*netlist.Net, depth int) Expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		e := Expr(Var(ins[rng.Intn(len(ins))]))
+		if rng.Intn(2) == 0 {
+			e = Not(e)
+		}
+		return e
+	}
+	k := 2 + rng.Intn(3)
+	ops := make([]Expr, k)
+	for i := range ops {
+		ops[i] = randExpr(rng, ins, depth-1)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return And(ops...)
+	case 1:
+		return Or(ops...)
+	default:
+		return Xor(ops...)
+	}
+}
+
+func TestMapRandomExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(5) // 5..9 inputs: exhaustive check stays cheap
+		d, ins := buildInputs(t, n)
+		e := randExpr(rng, ins, 3)
+		out, err := NewMapper(d, "u/").MapExpr("r", e)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkEquivalence(t, d, ins, e, out)
+	}
+}
+
+func TestEqAndMux(t *testing.T) {
+	d, ins := buildInputs(t, 6)
+	e := Mux(Var(ins[5]), Eq(ins[0:4], 0xB), Var(ins[4]))
+	out, err := NewMapper(d, "u/").MapExpr("m", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalence(t, d, ins, e, out)
+}
+
+func TestConstantExpressionRejected(t *testing.T) {
+	d, _ := buildInputs(t, 1)
+	if _, err := NewMapper(d, "").MapExpr("c", Const(true)); err == nil {
+		t.Fatal("constant expression mapped")
+	}
+}
+
+func TestTruthTablePadding(t *testing.T) {
+	d, ins := buildInputs(t, 1)
+	tt, err := TruthTable(Var(ins[0]), ins[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1-input identity padded across all 16 entries: 0xAAAA.
+	if tt != 0xAAAA {
+		t.Fatalf("padded identity table = %04x", tt)
+	}
+	_ = d
+}
+
+func TestTruthTableTooWide(t *testing.T) {
+	d, ins := buildInputs(t, 5)
+	_ = d
+	if _, err := TruthTable(And(Var(ins[0])), ins); err == nil {
+		t.Fatal("5-input truth table accepted")
+	}
+}
+
+func TestMapRegistered(t *testing.T) {
+	d, ins := buildInputs(t, 2)
+	clkPort, err := d.AddPort("clk", netlist.In, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapper(d, "u/")
+	q, err := m.MapRegistered("r", Xor(Var(ins[0]), Var(ins[1])), clkPort.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPort("q", netlist.Out, q); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInput("a0", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInput("a1", false); err != nil {
+		t.Fatal(err)
+	}
+	s.Eval()
+	if v, _ := s.Output("q"); v {
+		t.Fatal("register should still hold init value before clocking")
+	}
+	s.Step()
+	if v, _ := s.Output("q"); !v {
+		t.Fatal("register did not capture XOR result")
+	}
+}
+
+func TestPrefixAppearsInCellNames(t *testing.T) {
+	d, ins := buildInputs(t, 2)
+	out, err := NewMapper(d, "modA/").MapExpr("f", And(Var(ins[0]), Var(ins[1])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Driver.Cell == nil || out.Driver.Cell.Name != "modA/f" {
+		t.Fatalf("mapped cell name = %q", out.Driver.Cell.Name)
+	}
+}

@@ -1,0 +1,297 @@
+// Package timing implements static timing analysis over placed-and-routed
+// designs: per-sink routing delays are accumulated along each net's PIP
+// tree, combinational arrival times propagate through the LUT network, and
+// the worst register-to-register / pad-to-register path sets the design's
+// minimum clock period. The delay model is synthetic but resource-aware
+// (longer wires cost more, every switch costs), which is what the flow's
+// optimisation claims need.
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/netlist"
+	"repro/internal/phys"
+)
+
+// Delay model constants, in nanoseconds.
+const (
+	DelayLUT     = 0.50 // LUT logic delay
+	DelayFFClkQ  = 0.60 // flip-flop clock-to-out
+	DelayFFSetup = 0.40 // flip-flop setup
+	DelayPIP     = 0.30 // one programmable switch
+	DelayPad     = 1.00 // pad buffer (either direction)
+
+	// Wire RC by resource class (added when a signal enters the wire).
+	DelaySingle = 0.35
+	DelayHex    = 0.90
+	DelayLong   = 1.60
+	DelayLocal  = 0.20 // slice output stubs and input-pin taps
+	DelayGlobal = 0.80 // global line (clock distribution, reported separately)
+)
+
+// PathPoint is one step of a reported critical path.
+type PathPoint struct {
+	What    string  // "pad", "cell", "net"
+	Name    string  // port/cell/net name
+	Arrival float64 // arrival time at this point, ns
+}
+
+// Analysis is the result of timing a design.
+type Analysis struct {
+	// CriticalNs is the worst path delay in nanoseconds (including source
+	// clock-to-out and destination setup where applicable).
+	CriticalNs float64
+	// FMaxMHz is the implied maximum clock frequency.
+	FMaxMHz float64
+	// Critical is the worst path, source to endpoint.
+	Critical []PathPoint
+	// NetDelays maps each routed net to its worst sink delay (ns).
+	NetDelays map[*netlist.Net]float64
+	// Endpoints counted (FF data inputs and output pads).
+	Endpoints int
+}
+
+// wireDelay classifies a routing node and returns the delay to enter it.
+func wireDelay(p *device.Part, n device.NodeID) float64 {
+	d := p.DescribeNode(n)
+	switch d.Kind {
+	case device.NodeWire:
+		w := d.C
+		switch {
+		case w >= device.WireSingleBase && w < device.WireHexBase:
+			return DelaySingle
+		case w >= device.WireHexBase && w < device.WireInPinBase:
+			return DelayHex
+		default: // OUT stubs and input pins
+			return DelayLocal
+		}
+	case device.NodeRowLong, device.NodeColLong:
+		return DelayLong
+	case device.NodeGlobal:
+		return DelayGlobal
+	case device.NodePadI, device.NodePadO:
+		return DelayPad
+	}
+	return 0
+}
+
+// netSinkDelays walks a route tree and returns the accumulated delay at
+// every node, keyed by node.
+func netSinkDelays(d *phys.Design, r *phys.Route) map[device.NodeID]float64 {
+	src := device.NodeID(-1)
+	// Root: the tree's source is the one PIP source never driven in-tree.
+	driven := map[device.NodeID]bool{}
+	for _, pip := range r.PIPs {
+		driven[pip.Dst] = true
+	}
+	delays := map[device.NodeID]float64{}
+	// Iterate to fixpoint in tree order: repeatedly relax edges whose source
+	// delay is known. Trees are tiny; two or three sweeps suffice.
+	for _, pip := range r.PIPs {
+		if !driven[pip.Src] {
+			src = pip.Src
+		}
+	}
+	if src >= 0 {
+		delays[src] = 0
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, pip := range r.PIPs {
+			from, ok := delays[pip.Src]
+			if !ok {
+				continue
+			}
+			nd := from + DelayPIP + wireDelay(d.Part, pip.Dst)
+			if cur, ok := delays[pip.Dst]; !ok || nd > cur {
+				delays[pip.Dst] = nd
+				changed = true
+			}
+		}
+	}
+	return delays
+}
+
+// Analyze runs static timing analysis on a routed design.
+func Analyze(d *phys.Design) (*Analysis, error) {
+	if err := d.CheckRoutes(); err != nil {
+		return nil, err
+	}
+	a := &Analysis{NetDelays: map[*netlist.Net]float64{}}
+
+	// Per-net, per-sink-node routing delays.
+	netNode := map[*netlist.Net]map[device.NodeID]float64{}
+	for n, r := range d.Routes {
+		delays := netSinkDelays(d, r)
+		netNode[n] = delays
+		worst := 0.0
+		for _, v := range delays {
+			worst = math.Max(worst, v)
+		}
+		a.NetDelays[n] = worst
+	}
+	// sinkDelay returns the routing delay to a specific cell pin.
+	sinkDelay := func(net *netlist.Net, pr netlist.PinRef) (float64, error) {
+		node, internal, err := d.PinNode(pr)
+		if err != nil {
+			return 0, err
+		}
+		if internal {
+			return 0, nil // LUT->FF inside one LE
+		}
+		delays, ok := netNode[net]
+		if !ok {
+			return 0, fmt.Errorf("timing: net %q unrouted", net.Name)
+		}
+		v, ok := delays[node]
+		if !ok {
+			return 0, fmt.Errorf("timing: net %q has no delay at %s", net.Name, d.Part.NodeName(node))
+		}
+		return v, nil
+	}
+
+	// Arrival times at cell outputs, computed over the combinational DAG.
+	arrival := map[*netlist.Cell]float64{}
+	from := map[*netlist.Cell]netlist.PinRef{} // critical fan-in per LUT
+	var visit func(c *netlist.Cell) (float64, error)
+	visiting := map[*netlist.Cell]bool{}
+	netArrival := func(net *netlist.Net, pr netlist.PinRef) (float64, error) {
+		rd, err := sinkDelay(net, pr)
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case net.DriverPort != nil:
+			return DelayPad + rd, nil
+		case net.Driver.Cell != nil:
+			av, err := visit(net.Driver.Cell)
+			if err != nil {
+				return 0, err
+			}
+			return av + rd, nil
+		}
+		return 0, fmt.Errorf("timing: net %q undriven", net.Name)
+	}
+	visit = func(c *netlist.Cell) (float64, error) {
+		if v, ok := arrival[c]; ok {
+			return v, nil
+		}
+		if c.Kind == netlist.KindDFF {
+			arrival[c] = DelayFFClkQ
+			return DelayFFClkQ, nil
+		}
+		if visiting[c] {
+			return 0, fmt.Errorf("timing: combinational cycle through %q", c.Name)
+		}
+		visiting[c] = true
+		defer delete(visiting, c)
+		worst := 0.0
+		for k, in := range c.Inputs {
+			pr := netlist.PinRef{Cell: c, Pin: fmt.Sprintf("I%d", k)}
+			av, err := netArrival(in, pr)
+			if err != nil {
+				return 0, err
+			}
+			if av > worst {
+				worst = av
+				from[c] = in.Driver
+			}
+		}
+		v := worst + DelayLUT
+		arrival[c] = v
+		return v, nil
+	}
+
+	// Endpoints: FF data inputs (+setup) and output pads (+pad).
+	type endpoint struct {
+		name  string
+		delay float64
+		via   *netlist.Net
+	}
+	var worstEP endpoint
+	consider := func(ep endpoint) {
+		a.Endpoints++
+		if ep.delay > worstEP.delay {
+			worstEP = ep
+		}
+	}
+	for _, c := range d.Netlist.SortedCells() {
+		if c.Kind != netlist.KindDFF {
+			continue
+		}
+		net := c.Inputs[0]
+		av, err := netArrival(net, netlist.PinRef{Cell: c, Pin: "D"})
+		if err != nil {
+			return nil, err
+		}
+		consider(endpoint{name: c.Name + ".D", delay: av + DelayFFSetup, via: net})
+	}
+	for _, port := range d.Netlist.Ports {
+		if port.Dir != netlist.Out {
+			continue
+		}
+		net := port.Net
+		delays, ok := netNode[net]
+		if !ok {
+			continue
+		}
+		pad, padOK := d.Ports[port]
+		if !padOK {
+			continue
+		}
+		rd, ok := delays[d.Part.PadNodeO(pad)]
+		if !ok {
+			continue
+		}
+		base := 0.0
+		if net.Driver.Cell != nil {
+			v, err := visit(net.Driver.Cell)
+			if err != nil {
+				return nil, err
+			}
+			base = v
+		} else {
+			base = DelayPad
+		}
+		consider(endpoint{name: "pad " + pad.Name(), delay: base + rd + DelayPad, via: net})
+	}
+
+	a.CriticalNs = worstEP.delay
+	if a.CriticalNs > 0 {
+		a.FMaxMHz = 1000 / a.CriticalNs
+	}
+	// Reconstruct the critical path backwards through `from`.
+	if worstEP.via != nil {
+		var rev []PathPoint
+		rev = append(rev, PathPoint{What: "endpoint", Name: worstEP.name, Arrival: worstEP.delay})
+		cur := worstEP.via.Driver
+		for cur.Cell != nil {
+			rev = append(rev, PathPoint{What: "cell", Name: cur.Cell.Name, Arrival: arrival[cur.Cell]})
+			if cur.Cell.Kind == netlist.KindDFF {
+				break
+			}
+			next, ok := from[cur.Cell]
+			if !ok {
+				break
+			}
+			cur = next
+		}
+		for i := len(rev) - 1; i >= 0; i-- {
+			a.Critical = append(a.Critical, rev[i])
+		}
+	}
+	return a, nil
+}
+
+// Report renders the analysis as text.
+func (a *Analysis) Report() string {
+	s := fmt.Sprintf("critical path: %.2f ns (fmax %.1f MHz) over %d endpoints\n",
+		a.CriticalNs, a.FMaxMHz, a.Endpoints)
+	for _, pp := range a.Critical {
+		s += fmt.Sprintf("  %-8s %-24s @ %.2f ns\n", pp.What, pp.Name, pp.Arrival)
+	}
+	return s
+}

@@ -1,0 +1,266 @@
+// Package ucf parses and emits the subset of the Xilinx UCF (user constraint
+// file) language the JPG flow relies on: pad LOCs for nets, AREA_GROUP
+// membership for instances, AREA_GROUP RANGE floorplan regions, and slice
+// LOCs for instances. These files carry the floorplan from the base design
+// into each sub-module variant project, exactly as in the paper's Phase 2.
+package ucf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/frames"
+)
+
+// SliceLoc pins an instance to a slice: "CLB_R3C23.S0" (rows/cols 1-based in
+// text, 0-based here).
+type SliceLoc struct {
+	Row, Col, Slice int
+}
+
+func (l SliceLoc) String() string {
+	return fmt.Sprintf("CLB_%s.S%d", device.TileName(l.Row, l.Col), l.Slice)
+}
+
+// InstGroup assigns instances matching Pattern to an area group. Patterns
+// are exact names or a prefix followed by '*' ("u1/*").
+type InstGroup struct {
+	Pattern string
+	Group   string
+}
+
+// Constraints is a parsed constraint set.
+type Constraints struct {
+	// NetLocs maps net/port names to pad names ("P_L3").
+	NetLocs map[string]string
+	// InstGroups lists AREA_GROUP membership rules in file order.
+	InstGroups []InstGroup
+	// Ranges maps area-group names to their floorplan regions.
+	Ranges map[string]frames.Region
+	// InstLocs pins individual instances to slices.
+	InstLocs map[string]SliceLoc
+}
+
+// New returns an empty constraint set.
+func New() *Constraints {
+	return &Constraints{
+		NetLocs:  map[string]string{},
+		Ranges:   map[string]frames.Region{},
+		InstLocs: map[string]SliceLoc{},
+	}
+}
+
+// matches reports whether an instance name matches a pattern.
+func matches(pattern, name string) bool {
+	if prefix, ok := strings.CutSuffix(pattern, "*"); ok {
+		return strings.HasPrefix(name, prefix)
+	}
+	return pattern == name
+}
+
+// GroupOf returns the area group an instance belongs to (last matching rule
+// wins, as in the Xilinx tools), or "" if unconstrained.
+func (c *Constraints) GroupOf(inst string) string {
+	group := ""
+	for _, ig := range c.InstGroups {
+		if matches(ig.Pattern, inst) {
+			group = ig.Group
+		}
+	}
+	return group
+}
+
+// RegionFor returns the floorplan region constraining an instance, if any.
+func (c *Constraints) RegionFor(inst string) (frames.Region, bool) {
+	g := c.GroupOf(inst)
+	if g == "" {
+		return frames.Region{}, false
+	}
+	rg, ok := c.Ranges[g]
+	return rg, ok
+}
+
+// AddGroup appends an AREA_GROUP membership rule and its region.
+func (c *Constraints) AddGroup(pattern, group string, rg frames.Region) {
+	c.InstGroups = append(c.InstGroups, InstGroup{pattern, group})
+	c.Ranges[group] = rg
+}
+
+// Validate checks the constraints against a part: regions in range, pads and
+// slice locations valid, every referenced group has a range.
+func (c *Constraints) Validate(p *device.Part) error {
+	for g, rg := range c.Ranges {
+		if !rg.Valid(p) {
+			return fmt.Errorf("ucf: AREA_GROUP %q range %v outside %s", g, rg, p.Name)
+		}
+	}
+	for _, ig := range c.InstGroups {
+		if _, ok := c.Ranges[ig.Group]; !ok {
+			return fmt.Errorf("ucf: AREA_GROUP %q has members but no RANGE", ig.Group)
+		}
+	}
+	for net, padName := range c.NetLocs {
+		pd, err := device.ParsePad(padName)
+		if err != nil {
+			return fmt.Errorf("ucf: NET %q: %w", net, err)
+		}
+		if !p.ValidPad(pd) {
+			return fmt.Errorf("ucf: NET %q LOC %q not on %s", net, padName, p.Name)
+		}
+	}
+	for inst, loc := range c.InstLocs {
+		if loc.Row < 0 || loc.Row >= p.Rows || loc.Col < 0 || loc.Col >= p.Cols || loc.Slice < 0 || loc.Slice > 1 {
+			return fmt.Errorf("ucf: INST %q LOC %v outside %s", inst, loc, p.Name)
+		}
+	}
+	return nil
+}
+
+// Parse reads a UCF text.
+func Parse(text string) (*Constraints, error) {
+	c := New()
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		line = strings.TrimSuffix(line, ";")
+		if err := c.parseLine(line); err != nil {
+			return nil, fmt.Errorf("ucf: line %d: %w", lineNo+1, err)
+		}
+	}
+	return c, nil
+}
+
+func (c *Constraints) parseLine(line string) error {
+	fields := tokenize(line)
+	if len(fields) < 2 {
+		return fmt.Errorf("unparseable constraint %q", line)
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "NET":
+		// NET "name" LOC = "P_L3"
+		if len(fields) != 5 || !strings.EqualFold(fields[2], "LOC") || fields[3] != "=" {
+			return fmt.Errorf("bad NET constraint %q", line)
+		}
+		c.NetLocs[fields[1]] = fields[4]
+		return nil
+	case "INST":
+		if len(fields) != 5 || fields[3] != "=" {
+			return fmt.Errorf("bad INST constraint %q", line)
+		}
+		switch strings.ToUpper(fields[2]) {
+		case "AREA_GROUP":
+			c.InstGroups = append(c.InstGroups, InstGroup{Pattern: fields[1], Group: fields[4]})
+			return nil
+		case "LOC":
+			loc, err := ParseSliceLoc(fields[4])
+			if err != nil {
+				return err
+			}
+			c.InstLocs[fields[1]] = loc
+			return nil
+		}
+		return fmt.Errorf("bad INST constraint %q", line)
+	case "AREA_GROUP":
+		// AREA_GROUP "AG" RANGE = CLB_R1C1:CLB_R8C12
+		if len(fields) != 5 || !strings.EqualFold(fields[2], "RANGE") || fields[3] != "=" {
+			return fmt.Errorf("bad AREA_GROUP constraint %q", line)
+		}
+		rg, err := ParseRange(fields[4])
+		if err != nil {
+			return err
+		}
+		c.Ranges[fields[1]] = rg
+		return nil
+	}
+	return fmt.Errorf("unknown constraint %q", fields[0])
+}
+
+// tokenize splits a constraint line into fields, stripping quotes and
+// keeping '=' as its own token.
+func tokenize(line string) []string {
+	line = strings.ReplaceAll(line, "=", " = ")
+	var out []string
+	for _, f := range strings.Fields(line) {
+		out = append(out, strings.Trim(f, `"`))
+	}
+	return out
+}
+
+// ParseSliceLoc parses "CLB_R3C23.S0".
+func ParseSliceLoc(s string) (SliceLoc, error) {
+	rest, ok := strings.CutPrefix(s, "CLB_")
+	if !ok {
+		return SliceLoc{}, fmt.Errorf("bad slice LOC %q", s)
+	}
+	tile, sl, ok := strings.Cut(rest, ".S")
+	if !ok {
+		return SliceLoc{}, fmt.Errorf("bad slice LOC %q", s)
+	}
+	r, c, err := device.ParseTileName(tile)
+	if err != nil {
+		return SliceLoc{}, fmt.Errorf("bad slice LOC %q: %w", s, err)
+	}
+	if sl != "0" && sl != "1" {
+		return SliceLoc{}, fmt.Errorf("bad slice in LOC %q", s)
+	}
+	return SliceLoc{Row: r, Col: c, Slice: int(sl[0] - '0')}, nil
+}
+
+// ParseRange parses "CLB_R1C1:CLB_R8C12" into a region.
+func ParseRange(s string) (frames.Region, error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return frames.Region{}, fmt.Errorf("bad RANGE %q", s)
+	}
+	ta, ok1 := strings.CutPrefix(a, "CLB_")
+	tb, ok2 := strings.CutPrefix(b, "CLB_")
+	if !ok1 || !ok2 {
+		return frames.Region{}, fmt.Errorf("bad RANGE %q", s)
+	}
+	r1, c1, err := device.ParseTileName(ta)
+	if err != nil {
+		return frames.Region{}, fmt.Errorf("bad RANGE %q: %w", s, err)
+	}
+	r2, c2, err := device.ParseTileName(tb)
+	if err != nil {
+		return frames.Region{}, fmt.Errorf("bad RANGE %q: %w", s, err)
+	}
+	return frames.NewRegion(r1, c1, r2, c2), nil
+}
+
+// Emit renders the constraints as UCF text (deterministic ordering).
+func (c *Constraints) Emit() string {
+	var b strings.Builder
+	b.WriteString("# generated constraint file\n")
+	for _, net := range sortedKeys(c.NetLocs) {
+		fmt.Fprintf(&b, "NET \"%s\" LOC = \"%s\";\n", net, c.NetLocs[net])
+	}
+	for _, ig := range c.InstGroups {
+		fmt.Fprintf(&b, "INST \"%s\" AREA_GROUP = \"%s\";\n", ig.Pattern, ig.Group)
+	}
+	groups := make([]string, 0, len(c.Ranges))
+	for g := range c.Ranges {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		fmt.Fprintf(&b, "AREA_GROUP \"%s\" RANGE = %s;\n", g, c.Ranges[g])
+	}
+	for _, inst := range sortedKeys(c.InstLocs) {
+		fmt.Fprintf(&b, "INST \"%s\" LOC = \"%s\";\n", inst, c.InstLocs[inst])
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

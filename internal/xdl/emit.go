@@ -1,0 +1,167 @@
+// Package xdl implements the ASCII physical-design exchange format the JPG
+// flow revolves around (the paper's §3.2.2): the Xilinx XDL utility converts
+// the binary NCD database to this text form, and JPG parses it to replay a
+// design's placement, configuration and routing through JBits calls.
+//
+// Grammar (one statement per ';'):
+//
+//	design "<name>" <part> ;
+//	inst "<name>" "<LUT4|DFF>", placed CLB_R<r>C<c>.S<s>.<F|G>, cfg "<k::v ...>" ;
+//	port "<name>" <in|out> <pad> ;
+//	net "<name>" [, cfg "CLOCK GLOBAL::<g>"] , outpin "<inst>" <pin> |
+//	    outport "<port>" {, inpin "<inst>" <pin>} {, inport "<port>"}
+//	    {, pip R<r>C<c> <srcnode> -> <dstnode>} ;
+//
+// Pin names are physical, as in the real XDL: LUT inputs F1..F4/G1..G4,
+// LUT outputs X/Y, flip-flop outputs XQ/YQ, flip-flop data BX/BY, controls
+// CLK/CE/SR. Rows and columns are 1-based in the text.
+package xdl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/phys"
+)
+
+// Emit renders a physical design as XDL text.
+func Emit(d *phys.Design) (string, error) {
+	f, err := d.Flatten()
+	if err != nil {
+		return "", err
+	}
+	return EmitFlat(f)
+}
+
+// EmitFlat renders an already-flattened design.
+func EmitFlat(f *phys.Flat) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# XDL generated from design %q\n", f.Design)
+	fmt.Fprintf(&b, "design \"%s\" %s ;\n\n", f.Design, f.Part)
+
+	siteOf := map[string]phys.Site{}
+	kindOf := map[string]string{}
+	for _, c := range f.Cells {
+		siteOf[c.Name] = c.Site
+		kindOf[c.Name] = c.Kind
+		fmt.Fprintf(&b, "inst \"%s\" \"%s\", placed CLB_%s.S%d.%s, cfg \"INIT::%04X\" ;\n",
+			c.Name, c.Kind, device.TileName(c.Site.Row, c.Site.Col), c.Site.Slice,
+			device.LUTName(c.Site.LE), c.Init)
+	}
+	b.WriteString("\n")
+	for _, p := range f.Ports {
+		fmt.Fprintf(&b, "port \"%s\" %s %s ;\n", p.Name, p.Dir, p.Pad)
+	}
+	b.WriteString("\n")
+	for _, n := range f.Nets {
+		fmt.Fprintf(&b, "net \"%s\"", n.Name)
+		if n.IsClock {
+			fmt.Fprintf(&b, " ,\n  cfg \"CLOCK GLOBAL::%d\"", n.Global)
+		}
+		if n.Driver.Inst != "" {
+			pin, err := physicalPin(n.Driver, kindOf, siteOf)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, " ,\n  outpin \"%s\" %s", n.Driver.Inst, pin)
+		} else {
+			fmt.Fprintf(&b, " ,\n  outport \"%s\"", n.DriverPort)
+		}
+		for _, s := range n.Sinks {
+			pin, err := physicalPin(s, kindOf, siteOf)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, " ,\n  inpin \"%s\" %s", s.Inst, pin)
+		}
+		for _, sp := range n.SinkPorts {
+			fmt.Fprintf(&b, " ,\n  inport \"%s\"", sp)
+		}
+		for _, pip := range n.PIPs {
+			fmt.Fprintf(&b, " ,\n  pip %s %s -> %s",
+				device.TileName(pip.Row, pip.Col), localiseNode(pip.Src, pip.Row, pip.Col), localiseNode(pip.Dst, pip.Row, pip.Col))
+		}
+		b.WriteString(" ;\n")
+	}
+	return b.String(), nil
+}
+
+// localiseNode strips the tile qualifier from node names belonging to the
+// anchor tile, matching real XDL's tile-relative pip statements.
+func localiseNode(name string, row, col int) string {
+	prefix := device.TileName(row, col) + "."
+	if rest, ok := strings.CutPrefix(name, prefix); ok {
+		return rest
+	}
+	return name
+}
+
+// physicalPin translates a logical pin reference to its physical name, which
+// depends on the cell kind and (for LUT pins) the site's LE letter.
+func physicalPin(p phys.FlatPin, kindOf map[string]string, siteOf map[string]phys.Site) (string, error) {
+	site, ok := siteOf[p.Inst]
+	if !ok {
+		return "", fmt.Errorf("xdl: pin on unknown inst %q", p.Inst)
+	}
+	letter := device.LUTName(site.LE) // "F" or "G"
+	switch kindOf[p.Inst] {
+	case "LUT4":
+		switch {
+		case p.Pin == "O" && site.LE == phys.LEF:
+			return "X", nil
+		case p.Pin == "O":
+			return "Y", nil
+		case len(p.Pin) == 2 && p.Pin[0] == 'I':
+			return fmt.Sprintf("%s%c", letter, p.Pin[1]+1), nil
+		}
+	case "DFF":
+		switch p.Pin {
+		case "Q":
+			if site.LE == phys.LEF {
+				return "XQ", nil
+			}
+			return "YQ", nil
+		case "D":
+			if site.LE == phys.LEF {
+				return "BX", nil
+			}
+			return "BY", nil
+		case "C":
+			return "CLK", nil
+		case "CE":
+			return "CE", nil
+		case "R":
+			return "SR", nil
+		}
+	}
+	return "", fmt.Errorf("xdl: no physical pin for %s.%s (%s)", p.Inst, p.Pin, kindOf[p.Inst])
+}
+
+// logicalPin is the inverse of physicalPin.
+func logicalPin(kind, pin string) (string, error) {
+	switch kind {
+	case "LUT4":
+		switch pin {
+		case "X", "Y":
+			return "O", nil
+		}
+		if len(pin) == 2 && (pin[0] == 'F' || pin[0] == 'G') && pin[1] >= '1' && pin[1] <= '4' {
+			return fmt.Sprintf("I%c", pin[1]-1), nil
+		}
+	case "DFF":
+		switch pin {
+		case "XQ", "YQ":
+			return "Q", nil
+		case "BX", "BY":
+			return "D", nil
+		case "CLK":
+			return "C", nil
+		case "CE":
+			return "CE", nil
+		case "SR":
+			return "R", nil
+		}
+	}
+	return "", fmt.Errorf("xdl: unknown physical pin %q on %s", pin, kind)
+}

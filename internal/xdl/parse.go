@@ -1,0 +1,271 @@
+package xdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/phys"
+)
+
+// Parse reads XDL text into a flattened physical design. Use phys.Unflatten
+// to obtain a full physical design.
+func Parse(text string) (*phys.Flat, error) {
+	f := &phys.Flat{}
+	kindOf := map[string]string{}
+	for lineNo, stmt := range statements(text) {
+		toks := tokenize(stmt)
+		if len(toks) == 0 {
+			continue
+		}
+		var err error
+		switch toks[0] {
+		case "design":
+			err = parseDesign(f, toks)
+		case "inst":
+			err = parseInst(f, toks, kindOf)
+		case "port":
+			err = parsePort(f, toks)
+		case "net":
+			err = parseNet(f, toks, kindOf)
+		default:
+			err = fmt.Errorf("unknown statement %q", toks[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xdl: statement %d: %w", lineNo+1, err)
+		}
+	}
+	if f.Part == "" {
+		return nil, fmt.Errorf("xdl: missing design statement")
+	}
+	return f, nil
+}
+
+// Load parses XDL text and reconstructs the physical design.
+func Load(text string) (*phys.Design, error) {
+	f, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return phys.Unflatten(f)
+}
+
+// statements splits the text on ';', dropping comment lines.
+func statements(text string) []string {
+	var clean strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		if trimmed := strings.TrimSpace(line); strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		clean.WriteString(line)
+		clean.WriteByte('\n')
+	}
+	var out []string
+	for _, s := range strings.Split(clean.String(), ";") {
+		if strings.TrimSpace(s) != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// tokenize splits a statement into tokens: quoted strings become single
+// tokens (quotes stripped), commas are separators, "->" is kept.
+func tokenize(stmt string) []string {
+	var toks []string
+	s := stmt
+	for {
+		s = strings.TrimLeft(s, " \t\n\r,")
+		if s == "" {
+			return toks
+		}
+		if s[0] == '"' {
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				toks = append(toks, s[1:])
+				return toks
+			}
+			toks = append(toks, s[1:1+end])
+			s = s[end+2:]
+			continue
+		}
+		i := strings.IndexAny(s, " \t\n\r,")
+		if i < 0 {
+			toks = append(toks, s)
+			return toks
+		}
+		toks = append(toks, s[:i])
+		s = s[i:]
+	}
+}
+
+func parseDesign(f *phys.Flat, toks []string) error {
+	if len(toks) != 3 {
+		return fmt.Errorf("design statement wants name and part")
+	}
+	f.Design, f.Part = toks[1], toks[2]
+	return nil
+}
+
+// parseInst handles: inst "<name>" "<kind>" placed CLB_RrCc.Ss.L cfg "<cfg>"
+func parseInst(f *phys.Flat, toks []string, kindOf map[string]string) error {
+	if len(toks) < 7 || toks[3] != "placed" || toks[5] != "cfg" {
+		return fmt.Errorf("malformed inst statement %v", toks)
+	}
+	name, kind := toks[1], toks[2]
+	site, err := parseSite(toks[4])
+	if err != nil {
+		return err
+	}
+	init, err := parseCfgInit(toks[6])
+	if err != nil {
+		return err
+	}
+	f.Cells = append(f.Cells, phys.FlatCell{Name: name, Kind: kind, Init: init, Site: site})
+	kindOf[name] = kind
+	return nil
+}
+
+// parseSite parses "CLB_R3C23.S0.F".
+func parseSite(s string) (phys.Site, error) {
+	rest, ok := strings.CutPrefix(s, "CLB_")
+	if !ok {
+		return phys.Site{}, fmt.Errorf("bad site %q", s)
+	}
+	parts := strings.Split(rest, ".")
+	if len(parts) != 3 || len(parts[1]) != 2 || parts[1][0] != 'S' {
+		return phys.Site{}, fmt.Errorf("bad site %q", s)
+	}
+	r, c, err := device.ParseTileName(parts[0])
+	if err != nil {
+		return phys.Site{}, err
+	}
+	slice := int(parts[1][1] - '0')
+	if slice < 0 || slice > 1 {
+		return phys.Site{}, fmt.Errorf("bad slice in site %q", s)
+	}
+	var le int
+	switch parts[2] {
+	case "F":
+		le = phys.LEF
+	case "G":
+		le = phys.LEG
+	default:
+		return phys.Site{}, fmt.Errorf("bad LE in site %q", s)
+	}
+	return phys.Site{Row: r, Col: c, Slice: slice, LE: le}, nil
+}
+
+// parseCfgInit extracts INIT::<hex> from an inst cfg string.
+func parseCfgInit(cfg string) (uint16, error) {
+	for _, kv := range strings.Fields(cfg) {
+		if v, ok := strings.CutPrefix(kv, "INIT::"); ok {
+			n, err := strconv.ParseUint(v, 16, 16)
+			if err != nil {
+				return 0, fmt.Errorf("bad INIT %q", v)
+			}
+			return uint16(n), nil
+		}
+	}
+	return 0, fmt.Errorf("cfg %q missing INIT", cfg)
+}
+
+func parsePort(f *phys.Flat, toks []string) error {
+	if len(toks) != 4 || (toks[2] != "in" && toks[2] != "out") {
+		return fmt.Errorf("malformed port statement %v", toks)
+	}
+	f.Ports = append(f.Ports, phys.FlatPort{Name: toks[1], Dir: toks[2], Pad: toks[3]})
+	return nil
+}
+
+func parseNet(f *phys.Flat, toks []string, kindOf map[string]string) error {
+	if len(toks) < 2 {
+		return fmt.Errorf("net statement missing name")
+	}
+	n := phys.FlatNet{Name: toks[1], Global: -1}
+	i := 2
+	for i < len(toks) {
+		switch toks[i] {
+		case "cfg":
+			if i+1 >= len(toks) {
+				return fmt.Errorf("net %q: dangling cfg", n.Name)
+			}
+			for _, kv := range strings.Fields(toks[i+1]) {
+				if kv == "CLOCK" {
+					n.IsClock = true
+				} else if v, ok := strings.CutPrefix(kv, "GLOBAL::"); ok {
+					g, err := strconv.Atoi(v)
+					if err != nil {
+						return fmt.Errorf("net %q: bad GLOBAL %q", n.Name, v)
+					}
+					n.Global = g
+				}
+			}
+			i += 2
+		case "outpin", "inpin":
+			if i+2 >= len(toks) {
+				return fmt.Errorf("net %q: truncated %s", n.Name, toks[i])
+			}
+			inst, ppin := toks[i+1], toks[i+2]
+			kind, ok := kindOf[inst]
+			if !ok {
+				return fmt.Errorf("net %q: pin on undeclared inst %q", n.Name, inst)
+			}
+			lpin, err := logicalPin(kind, ppin)
+			if err != nil {
+				return fmt.Errorf("net %q: %w", n.Name, err)
+			}
+			if toks[i] == "outpin" {
+				if n.Driver.Inst != "" || n.DriverPort != "" {
+					return fmt.Errorf("net %q: two drivers", n.Name)
+				}
+				n.Driver = phys.FlatPin{Inst: inst, Pin: lpin}
+			} else {
+				n.Sinks = append(n.Sinks, phys.FlatPin{Inst: inst, Pin: lpin})
+			}
+			i += 3
+		case "outport":
+			if i+1 >= len(toks) {
+				return fmt.Errorf("net %q: truncated outport", n.Name)
+			}
+			if n.Driver.Inst != "" || n.DriverPort != "" {
+				return fmt.Errorf("net %q: two drivers", n.Name)
+			}
+			n.DriverPort = toks[i+1]
+			i += 2
+		case "inport":
+			if i+1 >= len(toks) {
+				return fmt.Errorf("net %q: truncated inport", n.Name)
+			}
+			n.SinkPorts = append(n.SinkPorts, toks[i+1])
+			i += 2
+		case "pip":
+			if i+4 >= len(toks) || toks[i+3] != "->" {
+				return fmt.Errorf("net %q: malformed pip", n.Name)
+			}
+			r, c, err := device.ParseTileName(toks[i+1])
+			if err != nil {
+				return fmt.Errorf("net %q: %w", n.Name, err)
+			}
+			n.PIPs = append(n.PIPs, phys.FlatPIP{
+				Row: r, Col: c,
+				Src: qualify(toks[i+2], r, c),
+				Dst: qualify(toks[i+4], r, c),
+			})
+			i += 5
+		default:
+			return fmt.Errorf("net %q: unexpected token %q", n.Name, toks[i])
+		}
+	}
+	f.Nets = append(f.Nets, n)
+	return nil
+}
+
+// qualify restores the tile qualifier on tile-relative wire names.
+func qualify(name string, row, col int) string {
+	if _, isWire := device.WireByName(name); isWire {
+		return device.TileName(row, col) + "." + name
+	}
+	return name
+}

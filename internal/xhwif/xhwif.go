@@ -1,0 +1,121 @@
+// Package xhwif simulates the board-access layer the paper's JPG tool uses
+// to download bitstreams (the Xilinx XHWIF interface): a Virtex device
+// behind a SelectMAP configuration port, with a download-time model derived
+// from the port's published characteristics (one byte per configuration
+// clock, 50 MHz by default).
+package xhwif
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/device"
+	"repro/internal/frames"
+)
+
+// DefaultClockHz is the default SelectMAP configuration clock.
+const DefaultClockHz = 50e6
+
+// HWIF is the hardware-access interface, mirroring XHWIF's role: a device
+// that accepts bitstream downloads and supports configuration readback.
+type HWIF interface {
+	// PartName identifies the device on the board.
+	PartName() string
+	// Download feeds a (full or partial) bitstream to the configuration
+	// port.
+	Download(bs []byte) (DownloadStats, error)
+	// Readback returns a copy of the device's configuration memory.
+	Readback() *frames.Memory
+}
+
+// DownloadStats reports one download.
+type DownloadStats struct {
+	Bytes         int
+	FramesWritten int
+	// ModelTime is the modelled transfer time over SelectMAP (8 bits per
+	// configuration clock).
+	ModelTime time.Duration
+	// Started reports whether the bitstream issued the start-up sequence
+	// (full configurations do; partial reconfigurations of a running
+	// device do not).
+	Started bool
+}
+
+// Board is a simulated FPGA board holding one device.
+type Board struct {
+	Part *device.Part
+	// ClockHz is the SelectMAP configuration clock (DefaultClockHz if 0).
+	ClockHz float64
+
+	mem     *frames.Memory
+	running bool
+
+	// Cumulative counters.
+	Downloads      int
+	TotalBytes     int
+	TotalModelTime time.Duration
+}
+
+var _ HWIF = (*Board)(nil)
+
+// NewBoard returns a board with a blank (unconfigured) device.
+func NewBoard(p *device.Part) *Board {
+	return &Board{Part: p, ClockHz: DefaultClockHz, mem: frames.New(p)}
+}
+
+// PartName implements HWIF.
+func (b *Board) PartName() string { return b.Part.Name }
+
+// Running reports whether the device has completed a start-up sequence and
+// is executing its design.
+func (b *Board) Running() bool { return b.running }
+
+// Download implements HWIF: the bitstream is applied through the
+// configuration-port VM; a partial bitstream on a running device performs
+// dynamic partial reconfiguration (the rest of the device keeps its state).
+func (b *Board) Download(bs []byte) (DownloadStats, error) {
+	clock := b.ClockHz
+	if clock == 0 {
+		clock = DefaultClockHz
+	}
+	stats, err := bitstream.Apply(b.mem, bs)
+	ds := DownloadStats{
+		Bytes:         len(bs),
+		FramesWritten: stats.FramesWritten,
+		ModelTime:     time.Duration(float64(len(bs)) / clock * float64(time.Second)),
+		Started:       stats.Started,
+	}
+	if err != nil {
+		return ds, fmt.Errorf("xhwif: download failed: %w", err)
+	}
+	if stats.Started {
+		b.running = true
+	}
+	b.Downloads++
+	b.TotalBytes += ds.Bytes
+	b.TotalModelTime += ds.ModelTime
+	return ds, nil
+}
+
+// Readback implements HWIF: a copy of the current configuration memory, as
+// Virtex readback (FDRO) provides.
+func (b *Board) Readback() *frames.Memory { return b.mem.Clone() }
+
+// ReadbackFrames reads the addressed frames only.
+func (b *Board) ReadbackFrames(fars []device.FAR) [][]uint32 {
+	out := make([][]uint32, len(fars))
+	for i, f := range fars {
+		frame := make([]uint32, b.Part.FrameWords())
+		copy(frame, b.mem.Frame(f))
+		out[i] = frame
+	}
+	return out
+}
+
+// ExecuteReadback runs a readback packet request (bitstream.
+// WriteReadbackRequest) against the device and returns the raw read words,
+// as the SelectMAP port would shift them out.
+func (b *Board) ExecuteReadback(request []byte) ([]uint32, error) {
+	return bitstream.ExecuteReadback(b.mem, request)
+}

@@ -1,0 +1,111 @@
+package xhwif
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/device"
+	"repro/internal/frames"
+)
+
+func fullBitstream(t *testing.T, seed int64) (*frames.Memory, []byte) {
+	t.Helper()
+	p := device.MustByName("XCV50")
+	m := frames.New(p)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 500; i++ {
+		m.SetBit(p.CLBBit(rng.Intn(p.Rows), rng.Intn(p.Cols), rng.Intn(device.CLBLocalBits)), true)
+	}
+	return m, bitstream.WriteFull(m)
+}
+
+func TestDownloadFullThenReadback(t *testing.T) {
+	mem, bs := fullBitstream(t, 1)
+	b := NewBoard(device.MustByName("XCV50"))
+	if b.Running() {
+		t.Fatal("fresh board claims to run")
+	}
+	ds, err := b.Download(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Started || !b.Running() {
+		t.Fatal("full download did not start the device")
+	}
+	if !b.Readback().Equal(mem) {
+		t.Fatal("readback differs from downloaded configuration")
+	}
+	// Readback is a copy.
+	rb := b.Readback()
+	rb.SetBit(rb.Part.CLBBit(0, 0, 0), true)
+	if b.Readback().Bit(rb.Part.CLBBit(0, 0, 0)) {
+		t.Fatal("readback aliases device state")
+	}
+}
+
+func TestDownloadTimeModel(t *testing.T) {
+	_, bs := fullBitstream(t, 2)
+	b := NewBoard(device.MustByName("XCV50"))
+	ds, err := b.Download(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(float64(len(bs)) / DefaultClockHz * float64(time.Second))
+	if ds.ModelTime != want {
+		t.Fatalf("model time %v, want %v", ds.ModelTime, want)
+	}
+	// Halving the clock doubles the time.
+	b2 := NewBoard(device.MustByName("XCV50"))
+	b2.ClockHz = DefaultClockHz / 2
+	ds2, err := b2.Download(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.ModelTime != 2*ds.ModelTime {
+		t.Fatalf("clock scaling broken: %v vs %v", ds2.ModelTime, ds.ModelTime)
+	}
+}
+
+func TestCumulativeCounters(t *testing.T) {
+	_, bs := fullBitstream(t, 3)
+	b := NewBoard(device.MustByName("XCV50"))
+	for i := 0; i < 3; i++ {
+		if _, err := b.Download(bs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Downloads != 3 || b.TotalBytes != 3*len(bs) || b.TotalModelTime <= 0 {
+		t.Fatalf("counters wrong: %d downloads, %d bytes", b.Downloads, b.TotalBytes)
+	}
+}
+
+func TestDownloadRejectsWrongPart(t *testing.T) {
+	_, bs := fullBitstream(t, 4)
+	b := NewBoard(device.MustByName("XCV300"))
+	if _, err := b.Download(bs); err == nil {
+		t.Fatal("XCV50 bitstream accepted by XCV300 board")
+	}
+}
+
+func TestReadbackFrames(t *testing.T) {
+	mem, bs := fullBitstream(t, 5)
+	b := NewBoard(device.MustByName("XCV50"))
+	if _, err := b.Download(bs); err != nil {
+		t.Fatal(err)
+	}
+	fars := mem.NonZeroFrames()
+	if len(fars) == 0 {
+		t.Fatal("test memory has no content")
+	}
+	got := b.ReadbackFrames(fars)
+	for i, far := range fars {
+		want := mem.Frame(far)
+		for w := range want {
+			if got[i][w] != want[w] {
+				t.Fatalf("frame %v word %d mismatch", far, w)
+			}
+		}
+	}
+}
