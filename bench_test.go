@@ -10,6 +10,7 @@ package jpg
 // same tables are produced by `go run ./cmd/jpgbench`.
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -43,8 +44,30 @@ func benchExperiment(b *testing.B, name string, f func(experiments.Config) (*exp
 }
 
 // BenchmarkE1_Fig4Combinations regenerates Figure 4 / §4.1: 36 conventional
-// CAD runs vs 10 partial runs + 1 base.
+// CAD runs vs 10 partial runs + 1 base. The independent CAD runs go through
+// the worker pool at its default width (all cores).
 func BenchmarkE1_Fig4Combinations(b *testing.B) { benchExperiment(b, "E1", experiments.E1) }
+
+// BenchmarkE1Serial is E1 with the worker pool pinned to one worker: the
+// strictly serial execution of the seed repository, kept as the baseline
+// the parallel farm is measured against.
+func BenchmarkE1Serial(b *testing.B) {
+	benchExperiment(b, "E1", func(cfg experiments.Config) (*experiments.Table, error) {
+		cfg.Workers = 1
+		return experiments.E1(cfg)
+	})
+}
+
+// BenchmarkE1Parallel is E1 with one worker per core (explicitly, ignoring
+// $JPG_WORKERS). The ns/op ratio BenchmarkE1Serial / BenchmarkE1Parallel is
+// the farm's wall-clock speedup; the tables and bitstreams are byte-identical
+// either way (see internal/experiments determinism tests).
+func BenchmarkE1Parallel(b *testing.B) {
+	benchExperiment(b, "E1", func(cfg experiments.Config) (*experiments.Table, error) {
+		cfg.Workers = runtime.NumCPU()
+		return experiments.E1(cfg)
+	})
+}
 
 // BenchmarkE2_BitstreamSizes regenerates the §2.1 size table: partial vs
 // complete bitstream bytes across region widths and devices.

@@ -1,23 +1,29 @@
 // Command jpgbench regenerates the paper's evaluation: each experiment
-// (E1..E6, see DESIGN.md) prints the table reproducing one claim from
+// (E1..E9, see DESIGN.md) prints the table reproducing one claim from
 // §2.1/§4.1/Figure 4 of the paper.
 //
 // Usage:
 //
-//	jpgbench                 # run everything at full scale
+//	jpgbench                 # run everything at full scale, all cores
 //	jpgbench -exp e1,e5      # selected experiments
 //	jpgbench -quick          # shrunken sweeps (seconds instead of minutes)
 //	jpgbench -part XCV100    # device for the CAD-heavy experiments
+//	jpgbench -workers 1      # strictly serial CAD runs (results identical)
+//	jpgbench -json out.json  # also time each experiment serial vs parallel
+//	                         # and write a perf record (BENCH_parallel.json)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 var all = []struct {
@@ -35,24 +41,68 @@ var all = []struct {
 	{"e9", experiments.E9},
 }
 
+// perfRecord is the schema of the -json output: wall-clock of each selected
+// experiment run serially (Workers=1) and through the worker pool, so PRs
+// that touch the execution layer have a trajectory to compare against.
+type perfRecord struct {
+	Tool        string           `json:"tool"`
+	Part        string           `json:"part"`
+	Seed        int64            `json:"seed"`
+	Quick       bool             `json:"quick"`
+	NumCPU      int              `json:"num_cpu"`
+	Workers     int              `json:"workers"`
+	Experiments []perfExperiment `json:"experiments"`
+}
+
+type perfExperiment struct {
+	ID              string  `json:"id"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
 func main() {
 	var (
-		expList = flag.String("exp", "all", "comma-separated experiments (e1..e9) or 'all'")
-		quick   = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		part    = flag.String("part", "XCV50", "device for CAD-heavy experiments")
-		seed    = flag.Int64("seed", 1, "random seed")
+		expList  = flag.String("exp", "all", "comma-separated experiments (e1..e9) or 'all'")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		part     = flag.String("part", "XCV50", "device for CAD-heavy experiments")
+		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "worker pool width for independent CAD runs (0 = all cores, or $JPG_WORKERS)")
+		jsonPath = flag.String("json", "", "write a serial-vs-parallel perf record to this file")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Part: *part, Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Part: *part, Seed: *seed, Quick: *quick, Workers: *workers}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expList, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
+	record := perfRecord{
+		Tool: "jpgbench", Part: *part, Seed: *seed, Quick: *quick,
+		NumCPU: runtime.NumCPU(), Workers: *workers,
+	}
+	if record.Workers == 0 {
+		record.Workers = parallel.DefaultWorkers()
+	}
 	failed := false
 	for _, exp := range all {
 		if !want["all"] && !want[exp.id] {
 			continue
+		}
+		// With -json, time a strictly serial run first; results are
+		// byte-identical (only wall-clock changes), so only the pooled
+		// run's table is printed.
+		var serial time.Duration
+		if *jsonPath != "" {
+			serialCfg := cfg
+			serialCfg.Workers = 1
+			t0 := time.Now()
+			if _, err := exp.run(serialCfg); err != nil {
+				fmt.Fprintf(os.Stderr, "%s (serial): %v\n", exp.id, err)
+				failed = true
+				continue
+			}
+			serial = time.Since(t0)
 		}
 		t0 := time.Now()
 		tab, err := exp.run(cfg)
@@ -61,13 +111,39 @@ func main() {
 			failed = true
 			continue
 		}
+		elapsed := time.Since(t0)
 		fmt.Print(tab.Render())
-		fmt.Printf("(%s ran in %v)\n\n", strings.ToUpper(exp.id), time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("(%s ran in %v)\n\n", strings.ToUpper(exp.id), elapsed.Round(time.Millisecond))
 		for _, n := range tab.Notes {
 			if strings.Contains(n, "VERDICT: FAIL") {
 				failed = true
 			}
 		}
+		if *jsonPath != "" {
+			record.Experiments = append(record.Experiments, perfExperiment{
+				ID:              exp.id,
+				SerialSeconds:   serial.Seconds(),
+				ParallelSeconds: elapsed.Seconds(),
+				Speedup:         serial.Seconds() / elapsed.Seconds(),
+			})
+		}
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perf record: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "perf record: %v\n", err)
+			os.Exit(1)
+		}
+		for _, e := range record.Experiments {
+			fmt.Printf("perf %s: serial %.3fs, %d workers %.3fs (%.2fx)\n",
+				e.ID, e.SerialSeconds, record.Workers, e.ParallelSeconds, e.Speedup)
+		}
+		fmt.Printf("perf record written to %s\n", *jsonPath)
 	}
 	if failed {
 		os.Exit(1)

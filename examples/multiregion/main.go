@@ -59,37 +59,50 @@ func main() {
 	fmt.Printf("base design (%d combinations possible): %v CAD, %d-byte bitstream\n",
 		combos, time.Since(t0).Round(time.Millisecond), len(base.Bitstream))
 
-	// One partial bitstream per variant (3+3+4 = 10).
+	// One partial bitstream per variant (3+3+4 = 10). The per-variant CAD
+	// runs are independent, so they go through the concurrent farm; the
+	// results (and bitstream bytes) are identical to a serial loop.
+	var specs []jpg.VariantSpec
+	var prefixes []string
+	for _, r := range regions {
+		for vi, gen := range r.variants {
+			specs = append(specs, jpg.VariantSpec{
+				Prefix: r.prefix, Gen: gen,
+				Opts: jpg.FlowOptions{Seed: int64(10 + vi)},
+			})
+			prefixes = append(prefixes, r.prefix)
+		}
+	}
+	variants, err := jpg.BuildVariants(base, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
 	proj, err := jpg.NewProject(base.Bitstream)
 	if err != nil {
 		log.Fatal(err)
 	}
-	partials := map[string][][]byte{}
 	totalVariantCAD := time.Duration(0)
-	totalPartialBytes := 0
-	n := 0
-	for _, r := range regions {
-		for vi, gen := range r.variants {
-			va, err := jpg.BuildVariant(base, r.prefix, gen, jpg.FlowOptions{Seed: int64(10 + vi)})
-			if err != nil {
-				log.Fatal(err)
-			}
-			totalVariantCAD += va.Times.Total()
-			m, err := proj.AddModule(r.prefix+gen.Name(), va.XDL, va.UCF)
-			if err != nil {
-				log.Fatal(err)
-			}
-			res, err := proj.GeneratePartial(m, jpg.GenerateOptions{Strict: true})
-			if err != nil {
-				log.Fatal(err)
-			}
-			partials[r.prefix] = append(partials[r.prefix], res.Bitstream)
-			totalPartialBytes += len(res.Bitstream)
-			n++
+	mods := make([]*jpg.ProjectModule, len(variants))
+	for i, va := range variants {
+		totalVariantCAD += va.Times.Total()
+		m, err := proj.AddModule(prefixes[i]+specs[i].Gen.Name(), va.XDL, va.UCF)
+		if err != nil {
+			log.Fatal(err)
 		}
+		mods[i] = m
+	}
+	results, err := proj.GeneratePartialAll(mods, jpg.GenerateOptions{Strict: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	partials := map[string][][]byte{}
+	totalPartialBytes := 0
+	for i, res := range results {
+		partials[prefixes[i]] = append(partials[prefixes[i]], res.Bitstream)
+		totalPartialBytes += len(res.Bitstream)
 	}
 	fmt.Printf("%d partial bitstreams: %d bytes total, variant CAD %v total\n",
-		n, totalPartialBytes, totalVariantCAD.Round(time.Millisecond))
+		len(results), totalPartialBytes, totalVariantCAD.Round(time.Millisecond))
 	fmt.Printf("conventional flow would need %d full runs and ~%d bytes of bitstreams\n\n",
 		combos, combos*len(base.Bitstream))
 

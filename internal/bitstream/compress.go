@@ -59,7 +59,9 @@ func WritePartialCompressed(mem *frames.Memory, runs []FrameRun) ([]byte, error)
 		groups[key] = append(groups[key], far)
 	}
 
-	var b builder
+	// Upper bound: every frame plus one pad frame per FDRI emission, plus
+	// per-frame packet overhead.
+	b := newBuilder((len(fars)+len(groups)+len(runs))*p.FrameWords() + 4*len(fars) + 64)
 	b.header()
 	b.cmd(CmdRCRC)
 	b.t1(RegFLR, uint32(p.FrameWords()-1))
@@ -108,7 +110,7 @@ func WritePartialCompressed(mem *frames.Memory, runs []FrameRun) ([]byte, error)
 	b.writeCRC()
 	b.cmd(CmdDESYNCH)
 	b.nop(4)
-	return wordsToBytes(b.words), nil
+	return b.finish(), nil
 }
 
 func frameKey(words []uint32) string {

@@ -1,6 +1,7 @@
 package bitstream
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/device"
@@ -47,14 +48,29 @@ func NewPort(mem *frames.Memory) *Port {
 
 // Apply decodes and applies a complete bitstream to mem, returning the
 // port statistics. mem is modified in place; on error it may be partially
-// written (as on real hardware).
+// written (as on real hardware). The decoded-word buffer is recycled via
+// the package word pool: Apply sits on the project-initialisation and
+// simulated-download hot paths, where a fresh multi-hundred-KiB decode
+// buffer per call would dominate allocation.
 func Apply(mem *frames.Memory, bs []byte) (Stats, error) {
-	words, err := BytesToWords(bs)
-	if err != nil {
-		return Stats{}, err
+	if len(bs)%4 != 0 {
+		return Stats{}, fmt.Errorf("bitstream: length %d not a multiple of 4", len(bs))
+	}
+	slot := wordsPool.Get().(*[]uint32)
+	words := *slot
+	if cap(words) < len(bs)/4 {
+		words = make([]uint32, len(bs)/4)
+	} else {
+		words = words[:len(bs)/4]
+	}
+	for i := range words {
+		words[i] = binary.BigEndian.Uint32(bs[4*i:])
 	}
 	p := NewPort(mem)
-	if err := p.Feed(words); err != nil {
+	err := p.Feed(words) // Feed does not retain words: frames are copied out
+	*slot = words[:0]
+	wordsPool.Put(slot)
+	if err != nil {
 		return p.Stats, err
 	}
 	return p.Stats, nil

@@ -3,6 +3,7 @@ package bitstream
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/device"
 	"repro/internal/frames"
@@ -67,6 +68,42 @@ type builder struct {
 	words   []uint32
 	crc     uint16
 	lastReg int
+	// pool holds the slot the word buffer came from, when the builder was
+	// made by newBuilder; finish returns the buffer there. A zero-value
+	// builder (pool nil) still works and simply allocates.
+	pool *[]uint32
+	// fars is per-builder scratch for fdri's run validation, reused across
+	// runs so multi-run partial bitstreams do not allocate per run.
+	fars []device.FAR
+}
+
+// wordsPool recycles packet-word buffers across emissions and applications.
+// Bitstream emission is on the per-variant hot path of the experiment farms
+// (one partial bitstream per CAD run), so the multi-hundred-KiB word buffers
+// are reused rather than reallocated per call.
+var wordsPool = sync.Pool{New: func() any { return new([]uint32) }}
+
+// newBuilder returns a builder whose word buffer comes from the pool, grown
+// to at least capHint words so emission appends never reallocate.
+func newBuilder(capHint int) builder {
+	slot := wordsPool.Get().(*[]uint32)
+	buf := *slot
+	if cap(buf) < capHint {
+		buf = make([]uint32, 0, capHint)
+	}
+	return builder{words: buf[:0], pool: slot}
+}
+
+// finish serialises the accumulated words to bytes and recycles the word
+// buffer. The builder must not be used afterwards.
+func (b *builder) finish() []byte {
+	out := wordsToBytes(b.words)
+	if b.pool != nil {
+		*b.pool = b.words[:0]
+		wordsPool.Put(b.pool)
+		b.words, b.pool = nil, nil
+	}
+	return out
 }
 
 func (b *builder) raw(w uint32) { b.words = append(b.words, w) }
@@ -80,16 +117,6 @@ func (b *builder) fold(reg int, data ...uint32) {
 // t1 emits a type-1 write packet.
 func (b *builder) t1(reg int, data ...uint32) {
 	b.raw(type1Header(OpWrite, reg, len(data)))
-	b.words = append(b.words, data...)
-	b.fold(reg, data...)
-	b.lastReg = reg
-}
-
-// t2 emits a zero-count type-1 header followed by a type-2 write packet,
-// the idiom large FDRI writes use.
-func (b *builder) t2(reg int, data []uint32) {
-	b.raw(type1Header(OpWrite, reg, 0))
-	b.raw(type2Header(OpWrite, len(data)))
 	b.words = append(b.words, data...)
 	b.fold(reg, data...)
 	b.lastReg = reg
@@ -123,17 +150,23 @@ func (b *builder) header() {
 
 // fdri emits the frame data for a run: the frames' payloads followed by one
 // zero pad frame (the device's frame pipeline discards the final frame, so
-// N+1 frames of data configure N frames).
+// N+1 frames of data configure N frames). The frames stream straight from
+// the configuration memory into the packet buffer — the run is validated
+// up front (so errors never leave a half-emitted packet) and no temporary
+// payload slice is built.
 func (b *builder) fdri(mem *frames.Memory, run FrameRun) error {
 	p := mem.Part
 	fw := p.FrameWords()
-	data := make([]uint32, 0, (run.N+1)*fw)
+	if cap(b.fars) < run.N {
+		b.fars = make([]device.FAR, 0, run.N)
+	}
+	b.fars = b.fars[:0]
 	far := run.Start
 	for i := 0; i < run.N; i++ {
 		if !p.ValidFAR(far) {
 			return fmt.Errorf("bitstream: run of %d frames from %v overruns device", run.N, run.Start)
 		}
-		data = append(data, mem.Frame(far)...)
+		b.fars = append(b.fars, far)
 		if i < run.N-1 {
 			next, ok := p.NextFAR(far)
 			if !ok {
@@ -142,11 +175,24 @@ func (b *builder) fdri(mem *frames.Memory, run FrameRun) error {
 			far = next
 		}
 	}
-	data = append(data, make([]uint32, fw)...) // pad frame
-	if len(data) <= t1CountMask {
-		b.t1(RegFDRI, data...)
+	count := (run.N + 1) * fw
+	if count <= t1CountMask {
+		b.raw(type1Header(OpWrite, RegFDRI, count))
 	} else {
-		b.t2(RegFDRI, data)
+		b.raw(type1Header(OpWrite, RegFDRI, 0))
+		b.raw(type2Header(OpWrite, count))
+	}
+	b.lastReg = RegFDRI
+	for _, f := range b.fars {
+		frame := mem.Frame(f)
+		b.words = append(b.words, frame...)
+		for _, w := range frame {
+			b.crc = crcUpdate(b.crc, RegFDRI, w)
+		}
+	}
+	for i := 0; i < fw; i++ { // pad frame
+		b.words = append(b.words, 0)
+		b.crc = crcUpdate(b.crc, RegFDRI, 0)
 	}
 	return nil
 }
@@ -155,7 +201,7 @@ func (b *builder) fdri(mem *frames.Memory, run FrameRun) error {
 // bitstream, the product of a conventional bitgen run.
 func WriteFull(mem *frames.Memory) []byte {
 	p := mem.Part
-	var b builder
+	b := newBuilder((p.TotalFrames()+1)*p.FrameWords() + 64)
 	b.header()
 	b.cmd(CmdRCRC)
 	b.t1(RegFLR, uint32(p.FrameWords()-1))
@@ -172,7 +218,7 @@ func WriteFull(mem *frames.Memory) []byte {
 	b.cmd(CmdSTART)
 	b.cmd(CmdDESYNCH)
 	b.nop(4)
-	return wordsToBytes(b.words)
+	return b.finish()
 }
 
 // WritePartial serialises only the given frame runs as a partial bitstream:
@@ -183,7 +229,11 @@ func WritePartial(mem *frames.Memory, runs []FrameRun) ([]byte, error) {
 		return nil, fmt.Errorf("bitstream: partial bitstream with no frames")
 	}
 	p := mem.Part
-	var b builder
+	capHint := 64
+	for _, run := range runs {
+		capHint += (run.N+1)*p.FrameWords() + 8
+	}
+	b := newBuilder(capHint)
 	b.header()
 	b.cmd(CmdRCRC)
 	b.t1(RegFLR, uint32(p.FrameWords()-1))
@@ -201,7 +251,7 @@ func WritePartial(mem *frames.Memory, runs []FrameRun) ([]byte, error) {
 	b.writeCRC()
 	b.cmd(CmdDESYNCH)
 	b.nop(4)
-	return wordsToBytes(b.words), nil
+	return b.finish(), nil
 }
 
 // WritePartialForFARs is WritePartial over an uncoalesced frame list.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/frames"
 	"repro/internal/jbits"
+	"repro/internal/parallel"
 	"repro/internal/xhwif"
 )
 
@@ -448,5 +450,58 @@ func TestEndToEndOnXCV300(t *testing.T) {
 	ratio := float64(len(res.Bitstream)) / float64(len(base.Bitstream))
 	if ratio > frac*1.35 {
 		t.Fatalf("XCV300 partial ratio %.3f vs column fraction %.3f", ratio, frac)
+	}
+}
+
+// TestGeneratePartialAll checks the concurrent multi-module generator: the
+// results match serial GeneratePartial calls byte for byte regardless of
+// worker count, the base state is untouched, and WriteBack is rejected.
+func TestGeneratePartialAll(t *testing.T) {
+	base, _ := setup(t)
+	variants := []designs.Generator{
+		designs.LFSR{Bits: 6},
+		designs.LFSR{Bits: 6, Taps: []int{5, 2}},
+		designs.Counter{Bits: 6},
+	}
+	proj, err := NewProject(base.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := make([]*Module, len(variants))
+	for i, gen := range variants {
+		va, err := flow.BuildVariant(base, "u1/", gen, flow.Options{Seed: int64(20 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mods[i], err = proj.AddModule(gen.Name(), va.XDL, va.UCF); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := make([]*Result, len(mods))
+	for i, m := range mods {
+		if want[i], err = proj.GeneratePartial(m, GenerateOptions{Strict: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := proj.Base.Clone()
+	for _, workers := range []int{1, 4} {
+		got, err := proj.GeneratePartialAll(mods, GenerateOptions{Strict: true}, parallel.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range mods {
+			if !bytes.Equal(got[i].Bitstream, want[i].Bitstream) {
+				t.Fatalf("workers=%d: module %d bitstream differs from serial", workers, i)
+			}
+			if got[i].Region != want[i].Region || got[i].FramesChanged != want[i].FramesChanged {
+				t.Fatalf("workers=%d: module %d metadata differs from serial", workers, i)
+			}
+		}
+	}
+	if !proj.Base.Equal(before) {
+		t.Fatal("GeneratePartialAll modified the base configuration")
+	}
+	if _, err := proj.GeneratePartialAll(mods, GenerateOptions{WriteBack: true}); err == nil {
+		t.Fatal("GeneratePartialAll accepted WriteBack")
 	}
 }

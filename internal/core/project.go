@@ -16,6 +16,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/frames"
 	"repro/internal/jbits"
+	"repro/internal/parallel"
 	"repro/internal/ucf"
 	"repro/internal/xdl"
 	"repro/internal/xhwif"
@@ -156,6 +157,24 @@ func (p *Project) GeneratePartial(m *Module, opts GenerateOptions) (*Result, err
 		p.Base = work
 	}
 	return &Result{Bitstream: bs, Region: region, FARs: fars, FramesChanged: changed}, nil
+}
+
+// GeneratePartialAll generates partial bitstreams for many modules
+// concurrently — the multi-module analogue of GeneratePartial, for projects
+// whose reconfigurable regions each have a set of variants to prepare.
+// Every module replays onto its own clone of the base configuration, so the
+// runs are independent; results are collected by module index and are
+// byte-identical to calling GeneratePartial serially in that order, for any
+// worker count. WriteBack is rejected: write-backs serialise on the base
+// state by definition, so a concurrent batch has no meaningful order —
+// callers that need option 2 semantics apply the partials one at a time.
+func (p *Project) GeneratePartialAll(ms []*Module, opts GenerateOptions, popts ...parallel.Option) ([]*Result, error) {
+	if opts.WriteBack {
+		return nil, fmt.Errorf("core: GeneratePartialAll cannot WriteBack (write-backs are order-dependent); generate serially")
+	}
+	return parallel.Map(ms, func(_ int, m *Module) (*Result, error) {
+		return p.GeneratePartial(m, opts)
+	}, popts...)
 }
 
 // GenerateAndDownload generates the partial bitstream and downloads it to a

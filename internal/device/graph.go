@@ -10,6 +10,11 @@ import (
 // Graph is the routing graph of a part: forward adjacency over all PIPs.
 // Building it touches every tile, so graphs are cached per part; routers for
 // small parts pay ~milliseconds, the largest parts tens of milliseconds.
+//
+// A Graph is immutable once built: no method mutates it, and slices it hands
+// out (From) alias read-only storage. Any number of routers may therefore
+// share one Graph concurrently without synchronisation, which is what lets
+// internal/parallel farm independent place-and-route runs on the same part.
 type Graph struct {
 	Part *Part
 	// adjacency in CSR form: edges out of node n are
@@ -18,21 +23,30 @@ type Graph struct {
 	pips  []PIP
 }
 
-var (
-	graphMu    sync.Mutex
-	graphCache = map[string]*Graph{}
-)
+// graphEntry is one per-part cache slot: the sync.Once serialises the build
+// so concurrent first callers neither duplicate the work nor observe a
+// half-built graph.
+type graphEntry struct {
+	once sync.Once
+	g    *Graph
+}
 
-// NewGraph builds (or returns a cached) routing graph for the part.
+// graphCache maps part name -> *graphEntry. A sync.Map (rather than a
+// mutex-guarded map) makes cache *hits* lock-free: after the first build,
+// NewGraph is a read-only Load plus a no-op Once, so concurrent routers on
+// the same part do not contend on a global lock.
+var graphCache sync.Map
+
+// NewGraph builds (or returns the cached) routing graph for the part. Safe
+// for concurrent use; all callers for one part share a single Graph.
 func NewGraph(p *Part) *Graph {
-	graphMu.Lock()
-	defer graphMu.Unlock()
-	if g, ok := graphCache[p.Name]; ok {
-		return g
+	e, ok := graphCache.Load(p.Name)
+	if !ok {
+		e, _ = graphCache.LoadOrStore(p.Name, &graphEntry{})
 	}
-	g := buildGraph(p)
-	graphCache[p.Name] = g
-	return g
+	entry := e.(*graphEntry)
+	entry.once.Do(func() { entry.g = buildGraph(p) })
+	return entry.g
 }
 
 // NewGraphUncached builds a fresh graph, bypassing the cache (benchmarks).

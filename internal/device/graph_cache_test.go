@@ -1,0 +1,58 @@
+package device
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestNewGraphConcurrentSharing hammers the per-part cache from many
+// goroutines: every caller must get the same *Graph (one build per part,
+// no duplicate work) and the build must be complete when returned.
+func TestNewGraphConcurrentSharing(t *testing.T) {
+	p := MustByName("XCV50")
+	const callers = 32
+	graphs := make([]*Graph, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			graphs[i] = NewGraph(p)
+		}(i)
+	}
+	wg.Wait()
+	want := NewGraph(p)
+	if want.NumPIPs() == 0 {
+		t.Fatal("cached graph is empty")
+	}
+	for i, g := range graphs {
+		if g != want {
+			t.Fatalf("caller %d got a distinct graph instance", i)
+		}
+	}
+	// Distinct parts get distinct graphs.
+	if other := NewGraph(MustByName("XCV100")); other == want {
+		t.Fatal("XCV100 shares XCV50's graph")
+	}
+}
+
+// TestNewGraphMatchesUncached pins the cache down: the shared graph is the
+// same adjacency the uncached builder produces.
+func TestNewGraphMatchesUncached(t *testing.T) {
+	p := MustByName("XCV50")
+	cached, fresh := NewGraph(p), NewGraphUncached(p)
+	if cached.NumPIPs() != fresh.NumPIPs() {
+		t.Fatalf("cached %d PIPs, uncached %d", cached.NumPIPs(), fresh.NumPIPs())
+	}
+	for n := NodeID(0); int(n) < p.NumNodes(); n++ {
+		a, b := cached.From(n), fresh.From(n)
+		if len(a) != len(b) {
+			t.Fatalf("node %d: %d vs %d edges", n, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d edge %d differs: %+v vs %+v", n, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The parallel execution layer's contract is that worker count changes only
+// wall-clock, never results: every CAD run carries its own seed, and tables
+// are collected by index, not completion order. These tests pin that down by
+// running experiments serially (Workers=1) and wide (Workers>=4) and
+// comparing the tables byte for byte — after masking the cells and notes
+// that report *measured wall-clock*, which differ between any two runs,
+// serial or not. Everything the paper's claims rest on (run counts, LE
+// counts, bitstream bytes, byte ratios, verdicts on those) must be
+// identical.
+
+var speedupRE = regexp.MustCompile(`^\d+(\.\d+)?x$`)
+
+func isTimeDerived(cell string) bool {
+	if _, err := time.ParseDuration(cell); err == nil {
+		return true
+	}
+	return speedupRE.MatchString(cell)
+}
+
+var durationTokenRE = regexp.MustCompile(`\b\d+(\.\d+)?(ns|µs|us|ms|s|m|h)\b`)
+
+func timeSensitiveNote(note string) bool {
+	lower := strings.ToLower(note)
+	return strings.Contains(lower, "time") ||
+		strings.Contains(lower, "faster") ||
+		strings.Contains(lower, "speedup") ||
+		durationTokenRE.MatchString(note)
+}
+
+// maskTimings renders a table with wall-clock-valued cells replaced by a
+// placeholder and time-derived notes dropped.
+func maskTimings(tab *Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%s\n", tab.ID, tab.Title, tab.Claim)
+	fmt.Fprintf(&b, "%s\n", strings.Join(tab.Columns, "|"))
+	for _, row := range tab.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			if isTimeDerived(cell) {
+				b.WriteString("<time>")
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range tab.Notes {
+		if !timeSensitiveNote(n) {
+			fmt.Fprintf(&b, "note: %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+func wideWorkers() int {
+	if n := runtime.NumCPU(); n > 4 {
+		return n
+	}
+	return 4
+}
+
+func compareAcrossWorkers(t *testing.T, name string, run func(Config) (*Table, error)) {
+	t.Helper()
+	serialCfg := Config{Quick: true, Seed: 3, Workers: 1}
+	wideCfg := Config{Quick: true, Seed: 3, Workers: wideWorkers()}
+	serial, err := run(serialCfg)
+	if err != nil {
+		t.Fatalf("%s workers=1: %v", name, err)
+	}
+	wide, err := run(wideCfg)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", name, wideCfg.Workers, err)
+	}
+	a, b := maskTimings(serial), maskTimings(wide)
+	if a != b {
+		t.Fatalf("%s table differs between Workers=1 and Workers=%d:\n--- serial ---\n%s\n--- wide ---\n%s",
+			name, wideCfg.Workers, a, b)
+	}
+}
+
+func TestE1DeterministicAcrossWorkers(t *testing.T) {
+	compareAcrossWorkers(t, "E1", E1)
+}
+
+func TestE4DeterministicAcrossWorkers(t *testing.T) {
+	compareAcrossWorkers(t, "E4", E4)
+}
+
+func TestMaskTimings(t *testing.T) {
+	tab := &Table{
+		ID: "EX", Title: "t", Claim: "c",
+		Columns: []string{"a", "time", "speedup"},
+	}
+	tab.AddRow("x", "1.5ms", "3.1x")
+	tab.AddRow("y", "2m3s", "10x")
+	tab.Note("deterministic byte ratio = 0.33x")
+	tab.Note("total CAD time ratio = 2.1x")
+	tab.Note("ran in 35ms")
+	got := maskTimings(tab)
+	if strings.Contains(got, "1.5ms") || strings.Contains(got, "3.1x") || strings.Contains(got, "2m3s") {
+		t.Fatalf("time cells not masked:\n%s", got)
+	}
+	if !strings.Contains(got, "byte ratio = 0.33x") {
+		t.Fatalf("deterministic note dropped:\n%s", got)
+	}
+	if strings.Contains(got, "CAD time ratio") || strings.Contains(got, "35ms") {
+		t.Fatalf("time-sensitive notes kept:\n%s", got)
+	}
+	if !strings.Contains(got, "x|<time>|<time>") {
+		t.Fatalf("row masking wrong:\n%s", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/designs"
 	"repro/internal/device"
 	"repro/internal/flow"
+	"repro/internal/parallel"
 )
 
 // E4 reproduces §4.1's CAD-time claim: implementing one constrained
@@ -31,35 +32,65 @@ func E4(cfg Config) (*Table, error) {
 			"significantly less than for the complete design",
 		Columns: []string{"sbox size", "module LEs", "design LEs", "module P&R", "full P&R", "speedup"},
 	}
-	minSpeedup := 1e9
-	for _, n := range sizes {
+	// Each sweep point is independent of the others, and within one point the
+	// conventional full build and the floorplanned base build are independent
+	// CAD runs too — all of it dispatches through the pool, with rows
+	// collected by sweep index so the table order never depends on timing.
+	type sizeResult struct {
+		moduleLEs, designLEs int
+		modPR, fullPR        time.Duration
+	}
+	results, err := parallel.Map(sizes, func(_ int, n int) (sizeResult, error) {
 		insts := []designs.Instance{
 			{Prefix: "u1/", Gen: designs.SBoxBank{N: n, Seed: 1}},
 			{Prefix: "u2/", Gen: designs.SBoxBank{N: n, Seed: 2}},
 			{Prefix: "u3/", Gen: designs.SBoxBank{N: n, Seed: 3}},
 		}
-		full, err := flow.BuildFull(part, insts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+		var full *flow.Artifacts
+		var base *flow.BaseBuild
+		err := parallel.Do([]func() error{
+			func() error {
+				var err error
+				if full, err = flow.BuildFull(part, insts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort}); err != nil {
+					return fmt.Errorf("E4 full n=%d: %w", n, err)
+				}
+				return nil
+			},
+			func() error {
+				var err error
+				if base, err = flow.BuildBase(part, insts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort}); err != nil {
+					return fmt.Errorf("E4 base n=%d: %w", n, err)
+				}
+				return nil
+			},
+		}, cfg.pool()...)
 		if err != nil {
-			return nil, fmt.Errorf("E4 full n=%d: %w", n, err)
-		}
-		base, err := flow.BuildBase(part, insts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
-		if err != nil {
-			return nil, fmt.Errorf("E4 base n=%d: %w", n, err)
+			return sizeResult{}, err
 		}
 		variant, err := flow.BuildVariant(base, "u1/", designs.SBoxBank{N: n, Seed: 9}, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
 		if err != nil {
-			return nil, fmt.Errorf("E4 variant n=%d: %w", n, err)
+			return sizeResult{}, fmt.Errorf("E4 variant n=%d: %w", n, err)
 		}
-		fullPR := full.Times.Place + full.Times.Route
-		modPR := variant.Times.Place + variant.Times.Route
 		moduleStats := variant.Netlist.Stats()
 		fullStats := full.Netlist.Stats()
-		speedup := float64(fullPR) / float64(modPR)
+		return sizeResult{
+			moduleLEs: moduleStats.LUTs + moduleStats.DFFs,
+			designLEs: fullStats.LUTs + fullStats.DFFs,
+			modPR:     variant.Times.Place + variant.Times.Route,
+			fullPR:    full.Times.Place + full.Times.Route,
+		}, nil
+	}, cfg.pool()...)
+	if err != nil {
+		return nil, err
+	}
+	minSpeedup := 1e9
+	for i, r := range results {
+		speedup := float64(r.fullPR) / float64(r.modPR)
 		if speedup < minSpeedup {
 			minSpeedup = speedup
 		}
-		t.AddRow(n, moduleStats.LUTs+moduleStats.DFFs, fullStats.LUTs+fullStats.DFFs,
-			fullFmt(modPR), fullFmt(fullPR), fmt.Sprintf("%.1fx", speedup))
+		t.AddRow(sizes[i], r.moduleLEs, r.designLEs,
+			fullFmt(r.modPR), fullFmt(r.fullPR), fmt.Sprintf("%.1fx", speedup))
 	}
 	t.Note("minimum module-vs-full P&R speedup = %.1fx", minSpeedup)
 	if minSpeedup > 1.5 {

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/designs"
 	"repro/internal/device"
 	"repro/internal/flow"
+	"repro/internal/parallel"
 	"repro/internal/timing"
 )
 
@@ -34,24 +36,36 @@ func E8(cfg Config) (*Table, error) {
 		{Prefix: "u1/", Gen: designs.SBoxBank{N: 10, Seed: 4}},
 		{Prefix: "u2/", Gen: designs.Counter{Bits: 8}},
 	}
+	// The effort sweep's points are independent full CAD runs; farm them and
+	// emit rows in sweep order.
 	type point struct {
+		pr   time.Duration
 		pips int
 		ns   float64
+		fmax float64
 	}
-	var pts []point
-	for _, e := range efforts {
+	pts, err := parallel.Map(efforts, func(_ int, e float64) (point, error) {
 		full, err := flow.BuildFull(part, insts, flow.Options{Seed: cfg.Seed, Effort: e})
 		if err != nil {
-			return nil, fmt.Errorf("E8 effort %.1f: %w", e, err)
+			return point{}, fmt.Errorf("E8 effort %.1f: %w", e, err)
 		}
 		ta, err := timing.Analyze(full.Phys)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		t.AddRow(fmt.Sprintf("%.1f", e), fullFmt(full.Times.Place+full.Times.Route),
-			full.Phys.RoutedPIPCount(), fmt.Sprintf("%.2f", ta.CriticalNs),
-			fmt.Sprintf("%.1f", ta.FMaxMHz))
-		pts = append(pts, point{full.Phys.RoutedPIPCount(), ta.CriticalNs})
+		return point{
+			pr:   full.Times.Place + full.Times.Route,
+			pips: full.Phys.RoutedPIPCount(),
+			ns:   ta.CriticalNs,
+			fmax: ta.FMaxMHz,
+		}, nil
+	}, cfg.pool()...)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		t.AddRow(fmt.Sprintf("%.1f", efforts[i]), fullFmt(p.pr),
+			p.pips, fmt.Sprintf("%.2f", p.ns), fmt.Sprintf("%.1f", p.fmax))
 	}
 	lo, hi := pts[0], pts[len(pts)-1]
 	t.Note("lowest->highest effort: routed PIPs %d -> %d, critical path %.2f -> %.2f ns",

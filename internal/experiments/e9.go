@@ -32,16 +32,19 @@ func E9(cfg Config) (*Table, error) {
 	// The "revision": same structure, new LUT contents.
 	revised := designs.SBoxBank{N: 10, Seed: 8}
 
-	scratch, err := flow.BuildVariant(base, "u1/", revised, flow.Options{Seed: cfg.Seed + 2, Effort: cfg.Effort})
+	// The from-scratch and guided re-implementations are independent
+	// projects; run them as a two-spec variant farm (each with its own
+	// seed, as before).
+	built, err := flow.BuildVariants(base, []flow.VariantSpec{
+		{Prefix: "u1/", Gen: revised, Opts: flow.Options{Seed: cfg.Seed + 2, Effort: cfg.Effort}},
+		{Prefix: "u1/", Gen: revised, Opts: flow.Options{
+			Seed: cfg.Seed + 3, Effort: 0.05, Guide: flow.GuideFrom(original),
+		}},
+	}, cfg.pool()...)
 	if err != nil {
 		return nil, err
 	}
-	guided, err := flow.BuildVariant(base, "u1/", revised, flow.Options{
-		Seed: cfg.Seed + 3, Effort: 0.05, Guide: flow.GuideFrom(original),
-	})
-	if err != nil {
-		return nil, err
-	}
+	scratch, guided := built[0], built[1]
 
 	kept := func(a *flow.Artifacts) string {
 		n, total := 0, 0

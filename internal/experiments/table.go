@@ -7,6 +7,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/parallel"
 )
 
 // Table is one experiment's result.
@@ -97,6 +99,17 @@ type Config struct {
 	Effort float64
 	// Quick shrinks sweeps for test runs.
 	Quick bool
+	// Workers bounds the pool the experiments farm their independent CAD
+	// runs through: 0 selects parallel.DefaultWorkers() (all cores, or
+	// $JPG_WORKERS), 1 forces strictly serial execution. Results are
+	// byte-identical for any value — only wall-clock changes.
+	Workers int
+}
+
+// pool renders the config's worker bound as pool options for
+// parallel.Map/Do dispatches inside experiments.
+func (c Config) pool() []parallel.Option {
+	return []parallel.Option{parallel.WithWorkers(c.Workers)}
 }
 
 func (c Config) withDefaults() Config {

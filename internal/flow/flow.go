@@ -18,6 +18,7 @@ import (
 	"repro/internal/frames"
 	"repro/internal/ncd"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/phys"
 	"repro/internal/place"
 	"repro/internal/route"
@@ -312,6 +313,39 @@ func BuildVariant(base *BaseBuild, prefix string, gen designs.Generator, opts Op
 		return nil, fmt.Errorf("flow: base has no instance %q", prefix)
 	}
 	return buildVariant(base.Part, rg, base.Pads, prefix, gen, opts)
+}
+
+// VariantSpec names one Phase 2 re-implementation for BuildVariants: a
+// variant generator targeting an instance's region, with its own options
+// (each spec carries its own seed, so a batch is reproducible regardless of
+// how it is scheduled).
+type VariantSpec struct {
+	Prefix string
+	Gen    designs.Generator
+	Opts   Options
+}
+
+// BuildVariants farms a batch of independent Phase 2 variant
+// re-implementations through the worker pool — the paper's observation that
+// per-variant CAD runs are independent projects, made concrete. Results are
+// collected by spec index, and each run is driven solely by its spec's seed,
+// so the artifacts (XDL, UCF, bitstreams) are byte-identical to running
+// BuildVariant serially over the same specs, for any worker count.
+// On failure the lowest-index error is returned and the batch is discarded.
+func BuildVariants(base *BaseBuild, specs []VariantSpec, popts ...parallel.Option) ([]*Artifacts, error) {
+	return parallel.Map(specs, func(_ int, s VariantSpec) (*Artifacts, error) {
+		return BuildVariant(base, s.Prefix, s.Gen, s.Opts)
+	}, popts...)
+}
+
+// BuildFullMany implements many complete designs concurrently with the
+// conventional flow — the paper's "one full CAD run per combination"
+// baseline, scheduled as the embarrassingly parallel farm it is. Results
+// are collected by combination index.
+func BuildFullMany(p *device.Part, combos [][]designs.Instance, opts Options, popts ...parallel.Option) ([]*Artifacts, error) {
+	return parallel.Map(combos, func(_ int, insts []designs.Instance) (*Artifacts, error) {
+		return BuildFull(p, insts, opts)
+	}, popts...)
 }
 
 // BuildVariantUCF runs a Phase 2 project using only a base design's UCF to

@@ -1,6 +1,8 @@
 package flow
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/bitstream"
@@ -8,6 +10,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/frames"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/ucf"
 	"repro/internal/xdl"
 )
@@ -243,6 +246,84 @@ func TestImplementFromNetlistText(t *testing.T) {
 			if pip.Col > 7 {
 				t.Fatalf("internal net %q routed outside constrained columns", n.Name)
 			}
+		}
+	}
+}
+
+func TestBuildVariantsMatchesSerial(t *testing.T) {
+	p := device.MustByName("XCV50")
+	base, err := BuildBase(p, twoInstances(), Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []VariantSpec{
+		{Prefix: "u1/", Gen: designs.LFSR{Bits: 6, Taps: []int{5, 0}}, Opts: Options{Seed: 10}},
+		{Prefix: "u1/", Gen: designs.Counter{Bits: 6}, Opts: Options{Seed: 11}},
+		{Prefix: "u2/", Gen: designs.SBoxBank{N: 8, Seed: 7}, Opts: Options{Seed: 12}},
+		{Prefix: "u2/", Gen: designs.SBoxBank{N: 8, Seed: 8}, Opts: Options{Seed: 13}},
+	}
+	serial := make([]*Artifacts, len(specs))
+	for i, s := range specs {
+		a, err := BuildVariant(base, s.Prefix, s.Gen, s.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = a
+	}
+	concurrent, err := BuildVariants(base, specs, parallel.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if serial[i].XDL != concurrent[i].XDL {
+			t.Fatalf("spec %d: XDL differs between serial and 4-worker builds", i)
+		}
+		if serial[i].UCF != concurrent[i].UCF {
+			t.Fatalf("spec %d: UCF differs between serial and 4-worker builds", i)
+		}
+		if !bytes.Equal(serial[i].Bitstream, concurrent[i].Bitstream) {
+			t.Fatalf("spec %d: bitstream differs between serial and 4-worker builds", i)
+		}
+	}
+}
+
+func TestBuildVariantsReportsLowestIndexError(t *testing.T) {
+	p := device.MustByName("XCV50")
+	base, err := BuildBase(p, twoInstances(), Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []VariantSpec{
+		{Prefix: "u1/", Gen: designs.Counter{Bits: 6}, Opts: Options{Seed: 1}},
+		{Prefix: "nope/", Gen: designs.Counter{Bits: 6}, Opts: Options{Seed: 1}},
+		{Prefix: "also-nope/", Gen: designs.Counter{Bits: 6}, Opts: Options{Seed: 1}},
+	}
+	_, err = BuildVariants(base, specs, parallel.WithWorkers(3))
+	if err == nil || !strings.Contains(err.Error(), `"nope/"`) {
+		t.Fatalf("want the index-1 error, got %v", err)
+	}
+}
+
+func TestBuildFullManyMatchesSerial(t *testing.T) {
+	p := device.MustByName("XCV50")
+	combos := [][]designs.Instance{
+		twoInstances(),
+		{
+			{Prefix: "u1/", Gen: designs.LFSR{Bits: 6, Taps: []int{5, 0}}},
+			{Prefix: "u2/", Gen: designs.SBoxBank{N: 8, Seed: 3}},
+		},
+	}
+	many, err := BuildFullMany(p, combos, Options{Seed: 5}, parallel.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, combo := range combos {
+		one, err := BuildFull(p, combo, Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(one.Bitstream, many[i].Bitstream) {
+			t.Fatalf("combo %d: bitstream differs between serial and concurrent builds", i)
 		}
 	}
 }

@@ -1,0 +1,150 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachNRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 100
+		counts := make([]atomic.Int32, n)
+		err := ForEachN(n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}, WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachNZeroAndNegative(t *testing.T) {
+	ran := false
+	if err := ForEachN(0, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEachN(-3, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("fn ran for an empty batch")
+	}
+}
+
+func TestForEachNLowestIndexError(t *testing.T) {
+	// Indices 30 and 60 fail; every worker count must report 30.
+	for _, workers := range []int{1, 3, 16} {
+		err := ForEachN(100, func(i int) error {
+			if i == 30 || i == 60 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		}, WithWorkers(workers))
+		if err == nil || err.Error() != "boom at 30" {
+			t.Fatalf("workers=%d: got %v, want boom at 30", workers, err)
+		}
+	}
+}
+
+func TestForEachNCancelsAfterError(t *testing.T) {
+	// With one worker, nothing past the failing index may run.
+	var ran atomic.Int32
+	err := ForEachN(1000, func(i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return fmt.Errorf("stop")
+		}
+		return nil
+	}, WithWorkers(1))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got != 6 {
+		t.Fatalf("serial pool ran %d items after failure at index 5", got)
+	}
+}
+
+func TestMapCollectsByIndex(t *testing.T) {
+	items := make([]int, 50)
+	for i := range items {
+		items[i] = i * 3
+	}
+	for _, workers := range []int{1, 8} {
+		out, err := Map(items, func(i, item int) (string, error) {
+			return fmt.Sprintf("%d:%d", i, item), nil
+		}, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if want := fmt.Sprintf("%d:%d", i, items[i]); out[i] != want {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	out, err := Map([]int{1, 2, 3}, func(i, item int) (int, error) {
+		if i == 1 {
+			return 0, fmt.Errorf("no")
+		}
+		return item, nil
+	}, WithWorkers(2))
+	if err == nil || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, error)", out, err)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b atomic.Bool
+	err := Do([]func() error{
+		func() error { a.Store(true); return nil },
+		func() error { b.Store(true); return nil },
+	})
+	if err != nil || !a.Load() || !b.Load() {
+		t.Fatalf("Do: err=%v a=%v b=%v", err, a.Load(), b.Load())
+	}
+	if err := Do(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := resolve(10, nil); got != min(10, DefaultWorkers()) {
+		t.Fatalf("default resolve = %d", got)
+	}
+	if got := resolve(10, []Option{WithWorkers(4)}); got != 4 {
+		t.Fatalf("WithWorkers(4) = %d", got)
+	}
+	// Never more workers than items.
+	if got := resolve(2, []Option{WithWorkers(16)}); got != 2 {
+		t.Fatalf("clamp to items = %d", got)
+	}
+	if got := resolve(10, []Option{WithWorkers(0)}); got < 1 {
+		t.Fatalf("WithWorkers(0) = %d", got)
+	}
+}
+
+func TestDefaultWorkersEnvOverride(t *testing.T) {
+	t.Setenv(EnvWorkers, "3")
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("JPG_WORKERS=3: DefaultWorkers() = %d", got)
+	}
+	t.Setenv(EnvWorkers, "not-a-number")
+	if got := DefaultWorkers(); got != runtime.NumCPU() {
+		t.Fatalf("invalid JPG_WORKERS: DefaultWorkers() = %d, want NumCPU", got)
+	}
+	t.Setenv(EnvWorkers, "-2")
+	if got := DefaultWorkers(); got != runtime.NumCPU() {
+		t.Fatalf("negative JPG_WORKERS: DefaultWorkers() = %d, want NumCPU", got)
+	}
+}

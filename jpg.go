@@ -34,6 +34,7 @@ import (
 	"repro/internal/jbitsdiff"
 	"repro/internal/jroute"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/parbit"
 	"repro/internal/sim"
 	"repro/internal/timing"
@@ -98,6 +99,34 @@ func BuildVariant(base *BaseBuild, prefix string, gen Generator, opts FlowOption
 // BuildFull implements a complete design with the conventional flow.
 func BuildFull(p *Part, insts []Instance, opts FlowOptions) (*Artifacts, error) {
 	return flow.BuildFull(p, insts, opts)
+}
+
+// Concurrent farms. Per-variant CAD runs are independent projects, so
+// batches dispatch through a bounded worker pool (all cores by default, or
+// $JPG_WORKERS); results are collected by index and are byte-identical to
+// serial execution for any worker count.
+type (
+	// VariantSpec names one Phase-2 re-implementation for BuildVariants.
+	VariantSpec = flow.VariantSpec
+	// WorkerOption tunes a concurrent batch (see WithWorkers).
+	WorkerOption = parallel.Option
+)
+
+// WithWorkers bounds a batch to n concurrent workers (0 = all cores, 1 =
+// strictly serial).
+func WithWorkers(n int) WorkerOption { return parallel.WithWorkers(n) }
+
+// BuildVariants implements a batch of sub-module variants concurrently
+// (Phase 2 as a farm). Project.GeneratePartialAll is the matching
+// concurrent partial-bitstream generator.
+func BuildVariants(base *BaseBuild, specs []VariantSpec, opts ...WorkerOption) ([]*Artifacts, error) {
+	return flow.BuildVariants(base, specs, opts...)
+}
+
+// BuildFullMany implements many complete designs concurrently with the
+// conventional flow (the paper's one-run-per-combination baseline).
+func BuildFullMany(p *Part, combos [][]Instance, opts FlowOptions, popts ...WorkerOption) ([]*Artifacts, error) {
+	return flow.BuildFullMany(p, combos, opts, popts...)
 }
 
 // The JPG tool.
