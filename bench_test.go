@@ -10,6 +10,7 @@ package jpg
 // same tables are produced by `go run ./cmd/jpgbench`.
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -98,14 +99,14 @@ var benchVariant *flow.Artifacts
 func sharedBase(b *testing.B) (*flow.BaseBuild, *flow.Artifacts) {
 	b.Helper()
 	benchBaseOnce.Do(func() {
-		base, err := flow.BuildBase(device.MustByName("XCV50"), []designs.Instance{
+		base, err := flow.BuildBase(context.Background(), device.MustByName("XCV50"), []designs.Instance{
 			{Prefix: "u1/", Gen: designs.Counter{Bits: 6}},
 			{Prefix: "u2/", Gen: designs.SBoxBank{N: 8, Seed: 3}},
 		}, flow.Options{Seed: 1})
 		if err != nil {
 			panic(err)
 		}
-		variant, err := flow.BuildVariant(base, "u1/", designs.LFSR{Bits: 6, Taps: []int{5, 2}}, flow.Options{Seed: 2})
+		variant, err := flow.BuildVariant(context.Background(), base, "u1/", designs.LFSR{Bits: 6, Taps: []int{5, 2}}, flow.Options{Seed: 2})
 		if err != nil {
 			panic(err)
 		}

@@ -9,10 +9,15 @@
 // Usage:
 //
 //	jpg -base base.bit -xdl variant.xdl -ucf variant.ucf -o partial.bit \
-//	    [-writeback rewritten.bit] [-floorplan] [-strict] [-download]
+//	    [-writeback rewritten.bit] [-floorplan] [-strict] [-download] [-v]
+//
+// With -v the tool traces its stages (project init, XDL parse, partial
+// generation, download) and prints a per-stage time summary plus the key
+// metrics after the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +26,7 @@ import (
 	"repro/internal/bitfile"
 	"repro/internal/bitstream"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/xhwif"
 )
 
@@ -42,8 +48,15 @@ func run() error {
 		strict    = flag.Bool("strict", false, "reject modules escaping their declared AREA_GROUP columns")
 		download  = flag.Bool("download", false, "download to a simulated board and report the reconfiguration time")
 		compress  = flag.Bool("compress", false, "emit an MFWR-compressed partial bitstream")
+		verbose   = flag.Bool("v", false, "trace the tool's stages and print a per-stage summary and metrics")
 	)
 	flag.Parse()
+	ctx := context.Background()
+	var col *obs.Collector
+	if *verbose {
+		col = obs.New()
+		ctx = col.Attach(ctx)
+	}
 	if *basePath == "" || *xdlPath == "" || *ucfPath == "" {
 		flag.Usage()
 		return fmt.Errorf("-base, -xdl and -ucf are required")
@@ -69,13 +82,17 @@ func run() error {
 		return err
 	}
 
+	_, sp := obs.Start(ctx, "project.init")
 	proj, err := core.NewProject(baseBS)
+	sp.End()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("project: %s, base bitstream %d bytes\n", proj.Part, len(baseBS))
 
+	_, sp = obs.Start(ctx, "xdl.parse")
 	m, err := proj.AddModule(*xdlPath, string(xdlText), string(ucfText))
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -84,11 +101,13 @@ func run() error {
 		fmt.Print(m.FloorplanASCII(proj.Part))
 	}
 
+	_, sp = obs.Start(ctx, "generate.partial")
 	res, err := proj.GeneratePartial(m, core.GenerateOptions{
 		WriteBack: *writeBack != "",
 		Strict:    *strict,
 		Compress:  *compress,
 	})
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -108,18 +127,27 @@ func run() error {
 	}
 
 	if *download {
+		_, sp = obs.Start(ctx, "download")
 		board := xhwif.NewBoard(proj.Part)
 		dsFull, err := board.Download(baseBS)
 		if err != nil {
+			sp.End()
 			return err
 		}
 		ds, err := board.Download(res.Bitstream)
+		sp.End()
 		if err != nil {
 			return err
 		}
 		fmt.Printf("download (SelectMAP @ %.0f MHz): full %v, partial %v (%.1fx faster)\n",
 			xhwif.DefaultClockHz/1e6, dsFull.ModelTime, ds.ModelTime,
 			float64(dsFull.ModelTime)/float64(ds.ModelTime))
+	}
+	if col != nil {
+		fmt.Println("-- stage summary --")
+		fmt.Print(col.StageSummary())
+		fmt.Println("-- metrics --")
+		fmt.Print(obs.Default.Snapshot().Render())
 	}
 	return nil
 }

@@ -11,9 +11,13 @@
 //	jpgbench -workers 1      # strictly serial CAD runs (results identical)
 //	jpgbench -json out.json  # also time each experiment serial vs parallel
 //	                         # and write a perf record (BENCH_parallel.json)
+//	jpgbench -trace t.json   # write a Chrome trace (chrome://tracing) of the
+//	                         # pooled runs: per-stage spans on per-worker lanes
+//	jpgbench -metrics        # print the metrics registry snapshot after the run
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -43,8 +48,12 @@ var all = []struct {
 
 // perfRecord is the schema of the -json output: wall-clock of each selected
 // experiment run serially (Workers=1) and through the worker pool, so PRs
-// that touch the execution layer have a trajectory to compare against.
+// that touch the execution layer have a trajectory to compare against. The
+// record is self-describing: Version is the schema version (bumped on
+// incompatible change; see obs.ExportVersion) and Metrics snapshots the
+// process-wide registry after the pooled runs.
 type perfRecord struct {
+	Version     int              `json:"version"`
 	Tool        string           `json:"tool"`
 	Part        string           `json:"part"`
 	Seed        int64            `json:"seed"`
@@ -52,6 +61,7 @@ type perfRecord struct {
 	NumCPU      int              `json:"num_cpu"`
 	Workers     int              `json:"workers"`
 	Experiments []perfExperiment `json:"experiments"`
+	Metrics     obs.Snapshot     `json:"metrics"`
 }
 
 type perfExperiment struct {
@@ -69,9 +79,19 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "worker pool width for independent CAD runs (0 = all cores, or $JPG_WORKERS)")
 		jsonPath = flag.String("json", "", "write a serial-vs-parallel perf record to this file")
+		tracePth = flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) of the pooled runs to this file")
+		metrics  = flag.Bool("metrics", false, "print the metrics registry snapshot and per-stage span summary after the run")
 	)
 	flag.Parse()
 	cfg := experiments.Config{Part: *part, Seed: *seed, Quick: *quick, Workers: *workers}
+	// Tracing observes only the pooled runs (the serial -json reruns stay
+	// untraced so the trace reflects one configuration); results are
+	// byte-identical with tracing on or off.
+	var col *obs.Collector
+	if *tracePth != "" || *metrics {
+		col = obs.New()
+		cfg.Ctx = col.Attach(context.Background())
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expList, ",") {
@@ -96,6 +116,7 @@ func main() {
 		if *jsonPath != "" {
 			serialCfg := cfg
 			serialCfg.Workers = 1
+			serialCfg.Ctx = nil // keep the serial rerun out of the trace
 			t0 := time.Now()
 			if _, err := exp.run(serialCfg); err != nil {
 				fmt.Fprintf(os.Stderr, "%s (serial): %v\n", exp.id, err)
@@ -127,6 +148,31 @@ func main() {
 				Speedup:         serial.Seconds() / elapsed.Seconds(),
 			})
 		}
+	}
+	record.Version = obs.ExportVersion
+	record.Metrics = obs.Default.Snapshot()
+	if *tracePth != "" {
+		f, err := os.Create(*tracePth)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		err = col.WriteChromeTrace(f, "jpgbench")
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%d spans; open in chrome://tracing or ui.perfetto.dev)\n",
+			*tracePth, len(col.Spans()))
+	}
+	if *metrics {
+		fmt.Println("== per-stage span summary ==")
+		fmt.Print(col.StageSummary())
+		fmt.Println("== metrics snapshot ==")
+		fmt.Print(record.Metrics.Render())
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(record, "", "  ")

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/flow"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/timing"
 	"repro/internal/ucf"
 )
@@ -46,8 +48,15 @@ func run() error {
 		outStem  = flag.String("o", "design", "output file stem (writes stem.ncd/.xdl/.ucf/.bit)")
 		seed     = flag.Int64("seed", 1, "random seed for placement")
 		effort   = flag.Float64("effort", 1.0, "placer effort")
+		trace    = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the run to this file")
 	)
 	flag.Parse()
+	ctx := context.Background()
+	var col *obs.Collector
+	if *trace != "" {
+		col = obs.New()
+		ctx = col.Attach(ctx)
+	}
 	part, err := device.ByName(*partName)
 	if err != nil {
 		return err
@@ -78,7 +87,7 @@ func run() error {
 				return err
 			}
 		}
-		if a, err = flow.Implement(part, nl, cons, opts); err != nil {
+		if a, err = flow.Implement(ctx, part, nl, cons, opts); err != nil {
 			return err
 		}
 	case *baseSpec != "" && *varSpec == "":
@@ -86,7 +95,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		base, err := flow.BuildBase(part, insts, opts)
+		base, err := flow.BuildBase(ctx, part, insts, opts)
 		if err != nil {
 			return err
 		}
@@ -113,7 +122,7 @@ func run() error {
 		if len(insts) != 1 {
 			return fmt.Errorf("-variant wants exactly one instance")
 		}
-		a, err = flow.BuildVariantUCF(part, cons, insts[0].Prefix, insts[0].Gen, opts)
+		a, err = flow.BuildVariantUCF(ctx, part, cons, insts[0].Prefix, insts[0].Gen, opts)
 		if err != nil {
 			return err
 		}
@@ -153,6 +162,17 @@ func run() error {
 			return err
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+	if col != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := col.WriteChromeTrace(f, "par"); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (Chrome trace, %d spans)\n", *trace, len(col.Spans()))
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -16,12 +17,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	part, err := jpg.PartByName("XCV50")
 	if err != nil {
 		log.Fatal(err)
 	}
 	// A base design occupies the logic fabric; its BRAM is free for tables.
-	base, err := jpg.BuildBase(part, []jpg.Instance{
+	base, err := jpg.BuildBase(ctx, part, []jpg.Instance{
 		{Prefix: "u1/", Gen: jpg.Counter{Bits: 6}},
 	}, jpg.FlowOptions{Seed: 9})
 	if err != nil {

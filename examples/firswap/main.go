@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,11 +24,12 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	part, err := jpg.PartByName("XCV50")
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := jpg.BuildBase(part, []jpg.Instance{
+	base, err := jpg.BuildBase(ctx, part, []jpg.Instance{
 		{Prefix: "fir/", Gen: jpg.BinaryFIR{Taps: 8, Coeff: oldCoeff}},
 		{Prefix: "aux/", Gen: jpg.Counter{Bits: 4}},
 	}, jpg.FlowOptions{Seed: 5})
@@ -42,7 +44,7 @@ func main() {
 	fmt.Printf("FIR filter on %s, coefficients %08b\n", part.Name, oldCoeff)
 	fmt.Println("impulse response before swap:", impulseResponse(board, base))
 
-	variant, err := jpg.BuildVariant(base, "fir/", jpg.BinaryFIR{Taps: 8, Coeff: newCoeff}, jpg.FlowOptions{Seed: 6})
+	variant, err := jpg.BuildVariant(ctx, base, "fir/", jpg.BinaryFIR{Taps: 8, Coeff: newCoeff}, jpg.FlowOptions{Seed: 6})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	part, err := jpg.PartByName("XCV50")
 	if err != nil {
 		log.Fatal(err)
@@ -52,7 +54,7 @@ func main() {
 		combos *= len(r.variants)
 	}
 	t0 := time.Now()
-	base, err := jpg.BuildBase(part, insts, jpg.FlowOptions{Seed: 7})
+	base, err := jpg.BuildBase(ctx, part, insts, jpg.FlowOptions{Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func main() {
 			prefixes = append(prefixes, r.prefix)
 		}
 	}
-	variants, err := jpg.BuildVariants(base, specs)
+	variants, err := jpg.BuildVariants(ctx, base, specs)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,11 +15,12 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	part, err := jpg.PartByName("XCV50")
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := jpg.BuildBase(part, []jpg.Instance{
+	base, err := jpg.BuildBase(ctx, part, []jpg.Instance{
 		{Prefix: "u1/", Gen: jpg.Counter{Bits: 6}},
 	}, jpg.FlowOptions{Seed: 8})
 	if err != nil {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,13 +18,14 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	part, err := jpg.PartByName("XCV50")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// ---- Phase 1: the base design ----
-	base, err := jpg.BuildBase(part, []jpg.Instance{
+	base, err := jpg.BuildBase(ctx, part, []jpg.Instance{
 		{Prefix: "u1/", Gen: jpg.Counter{Bits: 6}},
 		{Prefix: "u2/", Gen: jpg.SBoxBank{N: 8, Seed: 3}},
 	}, jpg.FlowOptions{Seed: 1})
@@ -45,7 +47,7 @@ func main() {
 		ds.Bytes, ds.ModelTime, board.Running())
 
 	// ---- Phase 2: a variant for region u1 ----
-	variant, err := jpg.BuildVariant(base, "u1/", jpg.LFSR{Bits: 6, Taps: []int{5, 2}}, jpg.FlowOptions{Seed: 2})
+	variant, err := jpg.BuildVariant(ctx, base, "u1/", jpg.LFSR{Bits: 6, Taps: []int{5, 2}}, jpg.FlowOptions{Seed: 2})
 	if err != nil {
 		log.Fatal(err)
 	}

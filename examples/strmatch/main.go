@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,6 +21,7 @@ import (
 const text = "partial reconfiguration moves patterns into hardware"
 
 func main() {
+	ctx := context.Background()
 	part, err := jpg.PartByName("XCV100")
 	if err != nil {
 		log.Fatal(err)
@@ -27,7 +29,7 @@ func main() {
 
 	// Base design: the matcher for "pattern" plus an unrelated scrambler
 	// module that must keep working across reconfigurations.
-	base, err := jpg.BuildBase(part, []jpg.Instance{
+	base, err := jpg.BuildBase(ctx, part, []jpg.Instance{
 		{Prefix: "m/", Gen: jpg.StringMatcher{Pattern: "pattern"}},
 		{Prefix: "x/", Gen: jpg.LFSR{Bits: 8, Taps: []int{7, 5, 4, 3}}},
 	}, jpg.FlowOptions{Seed: 3})
@@ -45,7 +47,7 @@ func main() {
 	// Swap in a matcher for "hardware" — same 8-bit-in/1-bit-out interface,
 	// so only the matcher's columns change.
 	for _, pattern := range []string{"hardware", "into"} {
-		variant, err := jpg.BuildVariant(base, "m/", jpg.StringMatcher{Pattern: pattern}, jpg.FlowOptions{Seed: 4})
+		variant, err := jpg.BuildVariant(ctx, base, "m/", jpg.StringMatcher{Pattern: pattern}, jpg.FlowOptions{Seed: 4})
 		if err != nil {
 			log.Fatal(err)
 		}

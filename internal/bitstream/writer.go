@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/frames"
+	"repro/internal/obs"
 )
 
 // FrameRun is a contiguous range of frames in device order: N frames
@@ -77,6 +78,16 @@ type builder struct {
 	fars []device.FAR
 }
 
+// Emission metrics (always on; see internal/obs): total bytes produced and
+// the word-buffer pool's reuse rate — a reuse is a Get whose recycled
+// buffer was already large enough, an alloc is a Get that had to grow it.
+var (
+	mEmissions  = obs.GetCounter("bitstream.emissions")
+	mBytesOut   = obs.GetCounter("bitstream.bytes_emitted")
+	mPoolReuses = obs.GetCounter("bitstream.pool_reuses")
+	mPoolAllocs = obs.GetCounter("bitstream.pool_allocs")
+)
+
 // wordsPool recycles packet-word buffers across emissions and applications.
 // Bitstream emission is on the per-variant hot path of the experiment farms
 // (one partial bitstream per CAD run), so the multi-hundred-KiB word buffers
@@ -90,6 +101,9 @@ func newBuilder(capHint int) builder {
 	buf := *slot
 	if cap(buf) < capHint {
 		buf = make([]uint32, 0, capHint)
+		mPoolAllocs.Inc()
+	} else {
+		mPoolReuses.Inc()
 	}
 	return builder{words: buf[:0], pool: slot}
 }
@@ -98,6 +112,8 @@ func newBuilder(capHint int) builder {
 // buffer. The builder must not be used afterwards.
 func (b *builder) finish() []byte {
 	out := wordsToBytes(b.words)
+	mEmissions.Inc()
+	mBytesOut.Add(int64(len(out)))
 	if b.pool != nil {
 		*b.pool = b.words[:0]
 		wordsPool.Put(b.pool)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -20,14 +21,14 @@ import (
 func setup(t *testing.T) (*flow.BaseBuild, *flow.Artifacts) {
 	t.Helper()
 	p := device.MustByName("XCV50")
-	base, err := flow.BuildBase(p, []designs.Instance{
+	base, err := flow.BuildBase(context.Background(), p, []designs.Instance{
 		{Prefix: "u1/", Gen: designs.Counter{Bits: 6}},
 		{Prefix: "u2/", Gen: designs.SBoxBank{N: 8, Seed: 3}},
 	}, flow.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	variant, err := flow.BuildVariant(base, "u1/", designs.LFSR{Bits: 6}, flow.Options{Seed: 2})
+	variant, err := flow.BuildVariant(context.Background(), base, "u1/", designs.LFSR{Bits: 6}, flow.Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +413,7 @@ func TestEndToEndOnXCV300(t *testing.T) {
 		t.Skip("larger device")
 	}
 	p := device.MustByName("XCV300")
-	base, err := flow.BuildBase(p, []designs.Instance{
+	base, err := flow.BuildBase(context.Background(), p, []designs.Instance{
 		{Prefix: "u1/", Gen: designs.Counter{Bits: 8}},
 		{Prefix: "u2/", Gen: designs.StringMatcher{Pattern: "xcv"}},
 		{Prefix: "u3/", Gen: designs.SBoxBank{N: 10, Seed: 4}},
@@ -420,7 +421,7 @@ func TestEndToEndOnXCV300(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	variant, err := flow.BuildVariant(base, "u1/", designs.LFSR{Bits: 8, Taps: []int{7, 5, 4, 3}}, flow.Options{Seed: 3})
+	variant, err := flow.BuildVariant(context.Background(), base, "u1/", designs.LFSR{Bits: 8, Taps: []int{7, 5, 4, 3}}, flow.Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -469,7 +470,7 @@ func TestGeneratePartialAll(t *testing.T) {
 	}
 	mods := make([]*Module, len(variants))
 	for i, gen := range variants {
-		va, err := flow.BuildVariant(base, "u1/", gen, flow.Options{Seed: int64(20 + i)})
+		va, err := flow.BuildVariant(context.Background(), base, "u1/", gen, flow.Options{Seed: int64(20 + i)})
 		if err != nil {
 			t.Fatal(err)
 		}

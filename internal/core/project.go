@@ -16,6 +16,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/frames"
 	"repro/internal/jbits"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/ucf"
 	"repro/internal/xdl"
@@ -88,6 +89,7 @@ func (p *Project) AddModule(name, xdlText, ucfText string) (*Module, error) {
 		return nil, fmt.Errorf("core: module %s: %w", name, err)
 	}
 	p.Modules = append(p.Modules, m)
+	mModulesAdded.Inc()
 	return m, nil
 }
 
@@ -117,6 +119,19 @@ type Result struct {
 	// FramesChanged counts carried frames that differ from the base.
 	FramesChanged int
 }
+
+// Partial-generation metrics (always on; see internal/obs): the numbers
+// behind claim C2 — partial bitstream bytes proportional to the fraction of
+// the device being reconfigured.
+var (
+	mPartials        = obs.GetCounter("core.partials_generated")
+	mModulesAdded    = obs.GetCounter("core.modules_added")
+	mFramesCarried   = obs.GetCounter("core.frames_carried")
+	mFramesChanged   = obs.GetCounter("core.frames_changed")
+	mPartialBytes    = obs.GetCounter("core.partial_bytes")
+	mRegionFraction  = obs.GetHistogram("core.region_fraction_pct")
+	mPartialBytesHit = obs.GetHistogram("core.partial_bytes_hist")
+)
 
 // GeneratePartial replays the module onto (a copy of) the base
 // configuration and emits the partial bitstream for its columns.
@@ -156,6 +171,12 @@ func (p *Project) GeneratePartial(m *Module, opts GenerateOptions) (*Result, err
 	if opts.WriteBack {
 		p.Base = work
 	}
+	mPartials.Inc()
+	mFramesCarried.Add(int64(len(fars)))
+	mFramesChanged.Add(int64(changed))
+	mPartialBytes.Add(int64(len(bs)))
+	mPartialBytesHit.Observe(int64(len(bs)))
+	mRegionFraction.Observe(int64(100 * len(fars) / p.Part.TotalFrames()))
 	return &Result{Bitstream: bs, Region: region, FARs: fars, FramesChanged: changed}, nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Graph is the routing graph of a part: forward adjacency over all PIPs.
@@ -37,6 +39,14 @@ type graphEntry struct {
 // the same part do not contend on a global lock.
 var graphCache sync.Map
 
+// Cache effectiveness counters (see internal/obs): a miss is the call that
+// performs the build for a part, every other call is a hit. Exactly one
+// miss per part is recorded no matter how many callers race the first use.
+var (
+	graphCacheHits   = obs.GetCounter("device.graph_cache.hits")
+	graphCacheMisses = obs.GetCounter("device.graph_cache.misses")
+)
+
 // NewGraph builds (or returns the cached) routing graph for the part. Safe
 // for concurrent use; all callers for one part share a single Graph.
 func NewGraph(p *Part) *Graph {
@@ -45,7 +55,16 @@ func NewGraph(p *Part) *Graph {
 		e, _ = graphCache.LoadOrStore(p.Name, &graphEntry{})
 	}
 	entry := e.(*graphEntry)
-	entry.once.Do(func() { entry.g = buildGraph(p) })
+	built := false
+	entry.once.Do(func() {
+		entry.g = buildGraph(p)
+		built = true
+	})
+	if built {
+		graphCacheMisses.Inc()
+	} else {
+		graphCacheHits.Inc()
+	}
 	return entry.g
 }
 

@@ -8,8 +8,14 @@ import (
 // TestNewGraphConcurrentSharing hammers the per-part cache from many
 // goroutines: every caller must get the same *Graph (one build per part,
 // no duplicate work) and the build must be complete when returned.
+//
+// It also audits the obs cache counters by delta: tests share one process
+// (and other tests build graphs too), so the assertion is on the change
+// across this test's calls, not on absolute values — every call must be
+// classified exactly once, and at most one call per part may be a miss.
 func TestNewGraphConcurrentSharing(t *testing.T) {
 	p := MustByName("XCV50")
+	hits0, misses0 := graphCacheHits.Value(), graphCacheMisses.Value()
 	const callers = 32
 	graphs := make([]*Graph, callers)
 	var wg sync.WaitGroup
@@ -22,6 +28,18 @@ func TestNewGraphConcurrentSharing(t *testing.T) {
 	}
 	wg.Wait()
 	want := NewGraph(p)
+	hitsD := graphCacheHits.Value() - hits0
+	missesD := graphCacheMisses.Value() - misses0
+	if hitsD+missesD != callers+1 {
+		t.Fatalf("hit+miss delta = %d+%d, want %d (every call classified once)",
+			hitsD, missesD, callers+1)
+	}
+	if missesD > 1 {
+		t.Fatalf("%d misses for one part, want at most 1 (single build)", missesD)
+	}
+	if hitsD < callers {
+		t.Fatalf("only %d hits across %d calls after first build", hitsD, callers+1)
+	}
 	if want.NumPIPs() == 0 {
 		t.Fatal("cached graph is empty")
 	}
@@ -33,6 +51,23 @@ func TestNewGraphConcurrentSharing(t *testing.T) {
 	// Distinct parts get distinct graphs.
 	if other := NewGraph(MustByName("XCV100")); other == want {
 		t.Fatal("XCV100 shares XCV50's graph")
+	}
+}
+
+// TestNewGraphCacheCounters pins the serial contract: once a part's graph
+// exists, every further NewGraph call is a recorded hit and no miss.
+func TestNewGraphCacheCounters(t *testing.T) {
+	p := MustByName("XCV50")
+	NewGraph(p) // ensure built (miss already consumed, here or earlier)
+	hits0, misses0 := graphCacheHits.Value(), graphCacheMisses.Value()
+	for i := 0; i < 3; i++ {
+		NewGraph(p)
+	}
+	if d := graphCacheHits.Value() - hits0; d != 3 {
+		t.Errorf("hits delta = %d, want 3", d)
+	}
+	if d := graphCacheMisses.Value() - misses0; d != 0 {
+		t.Errorf("misses delta = %d, want 0", d)
 	}
 }
 

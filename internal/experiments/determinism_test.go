@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"regexp"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The parallel execution layer's contract is that worker count changes only
@@ -93,6 +96,28 @@ func compareAcrossWorkers(t *testing.T, name string, run func(Config) (*Table, e
 
 func TestE1DeterministicAcrossWorkers(t *testing.T) {
 	compareAcrossWorkers(t, "E1", E1)
+}
+
+// TestE1DeterministicWithTracing pins the observability layer's
+// non-interference contract: attaching a collector (Config.Ctx, as jpgbench
+// -trace does) must not change any result — only record it.
+func TestE1DeterministicWithTracing(t *testing.T) {
+	plain, err := E1(Config{Quick: true, Seed: 3, Workers: 2})
+	if err != nil {
+		t.Fatalf("E1 untraced: %v", err)
+	}
+	col := obs.New()
+	traced, err := E1(Config{Quick: true, Seed: 3, Workers: 2, Ctx: col.Attach(context.Background())})
+	if err != nil {
+		t.Fatalf("E1 traced: %v", err)
+	}
+	a, b := maskTimings(plain), maskTimings(traced)
+	if a != b {
+		t.Fatalf("E1 table differs with tracing on:\n--- off ---\n%s\n--- on ---\n%s", a, b)
+	}
+	if len(col.Spans()) == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
 }
 
 func TestE4DeterministicAcrossWorkers(t *testing.T) {

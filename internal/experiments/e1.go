@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -57,6 +58,7 @@ func quickScenario() []RegionSpec {
 // constrained run and partial bitstream per variant under the JPG flow.
 func E1(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	ctx := cfg.ctx()
 	scenario := Fig4Scenario()
 	if cfg.Quick {
 		scenario = quickScenario()
@@ -89,8 +91,8 @@ func E1(cfg Config) (*Table, error) {
 		total time.Duration
 		bytes int
 	}
-	convResults, err := parallel.Map(enumerate(scenario), func(_ int, combo []designs.Instance) (convRun, error) {
-		full, err := flow.BuildFull(part, combo, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+	convResults, err := parallel.MapCtx(ctx, enumerate(scenario), func(ctx context.Context, _ int, combo []designs.Instance) (convRun, error) {
+		full, err := flow.BuildFull(ctx, part, combo, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
 		if err != nil {
 			return convRun{}, fmt.Errorf("E1 conventional: %w", err)
 		}
@@ -114,7 +116,7 @@ func E1(cfg Config) (*Table, error) {
 	for i, rs := range scenario {
 		baseInsts[i] = designs.Instance{Prefix: rs.Prefix, Gen: rs.Variants[0]}
 	}
-	base, err := flow.BuildBase(part, baseInsts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+	base, err := flow.BuildBase(ctx, part, baseInsts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
 	if err != nil {
 		return nil, fmt.Errorf("E1 base: %w", err)
 	}
@@ -140,7 +142,7 @@ func E1(cfg Config) (*Table, error) {
 			names = append(names, rs.Prefix+gen.Name())
 		}
 	}
-	vas, err := flow.BuildVariants(base, specs, cfg.pool()...)
+	vas, err := flow.BuildVariants(ctx, base, specs, cfg.pool()...)
 	if err != nil {
 		return nil, fmt.Errorf("E1 variants: %w", err)
 	}
@@ -161,7 +163,7 @@ func E1(cfg Config) (*Table, error) {
 		d     time.Duration
 		bytes int
 	}
-	gens, err := parallel.Map(mods, func(_ int, m *core.Module) (genRun, error) {
+	gens, err := parallel.MapCtx(ctx, mods, func(_ context.Context, _ int, m *core.Module) (genRun, error) {
 		t0 := time.Now()
 		res, err := proj.GeneratePartial(m, core.GenerateOptions{Strict: true})
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 // because place-and-route cost grows superlinearly with design size.
 func E4(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	ctx := cfg.ctx()
 	part, err := device.ByName(cfg.Part)
 	if err != nil {
 		return nil, err
@@ -40,7 +42,7 @@ func E4(cfg Config) (*Table, error) {
 		moduleLEs, designLEs int
 		modPR, fullPR        time.Duration
 	}
-	results, err := parallel.Map(sizes, func(_ int, n int) (sizeResult, error) {
+	results, err := parallel.MapCtx(ctx, sizes, func(ctx context.Context, _ int, n int) (sizeResult, error) {
 		insts := []designs.Instance{
 			{Prefix: "u1/", Gen: designs.SBoxBank{N: n, Seed: 1}},
 			{Prefix: "u2/", Gen: designs.SBoxBank{N: n, Seed: 2}},
@@ -48,17 +50,17 @@ func E4(cfg Config) (*Table, error) {
 		}
 		var full *flow.Artifacts
 		var base *flow.BaseBuild
-		err := parallel.Do([]func() error{
-			func() error {
+		err := parallel.DoCtx(ctx, []func(context.Context) error{
+			func(ctx context.Context) error {
 				var err error
-				if full, err = flow.BuildFull(part, insts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort}); err != nil {
+				if full, err = flow.BuildFull(ctx, part, insts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort}); err != nil {
 					return fmt.Errorf("E4 full n=%d: %w", n, err)
 				}
 				return nil
 			},
-			func() error {
+			func(ctx context.Context) error {
 				var err error
-				if base, err = flow.BuildBase(part, insts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort}); err != nil {
+				if base, err = flow.BuildBase(ctx, part, insts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort}); err != nil {
 					return fmt.Errorf("E4 base n=%d: %w", n, err)
 				}
 				return nil
@@ -67,7 +69,7 @@ func E4(cfg Config) (*Table, error) {
 		if err != nil {
 			return sizeResult{}, err
 		}
-		variant, err := flow.BuildVariant(base, "u1/", designs.SBoxBank{N: n, Seed: 9}, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+		variant, err := flow.BuildVariant(ctx, base, "u1/", designs.SBoxBank{N: n, Seed: 9}, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
 		if err != nil {
 			return sizeResult{}, fmt.Errorf("E4 variant n=%d: %w", n, err)
 		}

@@ -21,6 +21,7 @@ import (
 // like the intended variant while the untouched module keeps working).
 func E5(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	ctx := cfg.ctx()
 	part, err := device.ByName(cfg.Part)
 	if err != nil {
 		return nil, err
@@ -50,14 +51,14 @@ func E5(cfg Config) (*Table, error) {
 
 	allPass := true
 	for si, sw := range swaps {
-		base, err := flow.BuildBase(part, []designs.Instance{
+		base, err := flow.BuildBase(ctx, part, []designs.Instance{
 			{Prefix: "u1/", Gen: sw.baseGen},
 			{Prefix: "u2/", Gen: sw.otherG},
 		}, flow.Options{Seed: cfg.Seed + int64(si), Effort: cfg.Effort})
 		if err != nil {
 			return nil, fmt.Errorf("E5 %s base: %w", sw.name, err)
 		}
-		variant, err := flow.BuildVariant(base, "u1/", sw.varGen, flow.Options{Seed: cfg.Seed + 100 + int64(si), Effort: cfg.Effort})
+		variant, err := flow.BuildVariant(ctx, base, "u1/", sw.varGen, flow.Options{Seed: cfg.Seed + 100 + int64(si), Effort: cfg.Effort})
 		if err != nil {
 			return nil, fmt.Errorf("E5 %s variant: %w", sw.name, err)
 		}

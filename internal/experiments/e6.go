@@ -19,6 +19,7 @@ import (
 // tools each need a complete re-implementation of the full design first.
 func E6(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	ctx := cfg.ctx()
 	part, err := device.ByName(cfg.Part)
 	if err != nil {
 		return nil, err
@@ -27,7 +28,7 @@ func E6(cfg Config) (*Table, error) {
 	varGen := designs.LFSR{Bits: 6, Taps: []int{5, 2}}
 	otherGen := designs.SBoxBank{N: 6, Seed: 3}
 
-	base, err := flow.BuildBase(part, []designs.Instance{
+	base, err := flow.BuildBase(ctx, part, []designs.Instance{
 		{Prefix: "u1/", Gen: baseGen},
 		{Prefix: "u2/", Gen: otherGen},
 	}, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
@@ -59,7 +60,7 @@ func E6(cfg Config) (*Table, error) {
 	}
 
 	// JPG: constrained variant CAD + replay through the base bitstream.
-	variant, err := flow.BuildVariant(base, "u1/", varGen, flow.Options{Seed: cfg.Seed + 1, Effort: cfg.Effort})
+	variant, err := flow.BuildVariant(ctx, base, "u1/", varGen, flow.Options{Seed: cfg.Seed + 1, Effort: cfg.Effort})
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +84,7 @@ func E6(cfg Config) (*Table, error) {
 	// PARBIT and JBitsDiff both need the full design rebuilt with the
 	// variant in place, under the same floorplan (their methodology assumes
 	// the rebuilt design keeps the original regions and pinout).
-	rebuilt, err := flow.BuildBaseWith(part, []designs.Instance{
+	rebuilt, err := flow.BuildBaseWith(ctx, part, []designs.Instance{
 		{Prefix: "u1/", Gen: varGen},
 		{Prefix: "u2/", Gen: otherGen},
 	}, base.Cons, base.Regions, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})

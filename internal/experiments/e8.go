@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 // wirelength and achievable clock frequency.
 func E8(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	ctx := cfg.ctx()
 	part, err := device.ByName(cfg.Part)
 	if err != nil {
 		return nil, err
@@ -44,8 +46,8 @@ func E8(cfg Config) (*Table, error) {
 		ns   float64
 		fmax float64
 	}
-	pts, err := parallel.Map(efforts, func(_ int, e float64) (point, error) {
-		full, err := flow.BuildFull(part, insts, flow.Options{Seed: cfg.Seed, Effort: e})
+	pts, err := parallel.MapCtx(ctx, efforts, func(ctx context.Context, _ int, e float64) (point, error) {
+		full, err := flow.BuildFull(ctx, part, insts, flow.Options{Seed: cfg.Seed, Effort: e})
 		if err != nil {
 			return point{}, fmt.Errorf("E8 effort %.1f: %w", e, err)
 		}

@@ -14,18 +14,19 @@ import (
 // time and placement stability.
 func E9(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	ctx := cfg.ctx()
 	part, err := device.ByName(cfg.Part)
 	if err != nil {
 		return nil, err
 	}
-	base, err := flow.BuildBase(part, []designs.Instance{
+	base, err := flow.BuildBase(ctx, part, []designs.Instance{
 		{Prefix: "u1/", Gen: designs.SBoxBank{N: 10, Seed: 5}},
 		{Prefix: "u2/", Gen: designs.Counter{Bits: 6}},
 	}, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
 	if err != nil {
 		return nil, err
 	}
-	original, err := flow.BuildVariant(base, "u1/", designs.SBoxBank{N: 10, Seed: 7}, flow.Options{Seed: cfg.Seed + 1, Effort: cfg.Effort})
+	original, err := flow.BuildVariant(ctx, base, "u1/", designs.SBoxBank{N: 10, Seed: 7}, flow.Options{Seed: cfg.Seed + 1, Effort: cfg.Effort})
 	if err != nil {
 		return nil, err
 	}
@@ -35,7 +36,7 @@ func E9(cfg Config) (*Table, error) {
 	// The from-scratch and guided re-implementations are independent
 	// projects; run them as a two-spec variant farm (each with its own
 	// seed, as before).
-	built, err := flow.BuildVariants(base, []flow.VariantSpec{
+	built, err := flow.BuildVariants(ctx, base, []flow.VariantSpec{
 		{Prefix: "u1/", Gen: revised, Opts: flow.Options{Seed: cfg.Seed + 2, Effort: cfg.Effort}},
 		{Prefix: "u1/", Gen: revised, Opts: flow.Options{
 			Seed: cfg.Seed + 3, Effort: 0.05, Guide: flow.GuideFrom(original),

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -104,6 +105,18 @@ type Config struct {
 	// $JPG_WORKERS), 1 forces strictly serial execution. Results are
 	// byte-identical for any value — only wall-clock changes.
 	Workers int
+	// Ctx carries the run's observability context (an obs.Collector
+	// attached by jpgbench -trace); nil means context.Background().
+	// Tracing never changes results — only what gets recorded.
+	Ctx context.Context
+}
+
+// ctx resolves the run context.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // pool renders the config's worker bound as pool options for

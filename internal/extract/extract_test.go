@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -136,14 +137,14 @@ func TestExtractStringMatcherBehaviour(t *testing.T) {
 // swapped region implements the new module.
 func TestPartialReconfigFunctional(t *testing.T) {
 	p := device.MustByName("XCV50")
-	base, err := flow.BuildBase(p, []designs.Instance{
+	base, err := flow.BuildBase(context.Background(), p, []designs.Instance{
 		{Prefix: "u1/", Gen: designs.Counter{Bits: 6}},
 		{Prefix: "u2/", Gen: designs.SBoxBank{N: 6, Seed: 3}},
 	}, flow.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	variant, err := flow.BuildVariant(base, "u1/", designs.LFSR{Bits: 6, Taps: []int{5, 2}}, flow.Options{Seed: 2})
+	variant, err := flow.BuildVariant(context.Background(), base, "u1/", designs.LFSR{Bits: 6, Taps: []int{5, 2}}, flow.Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

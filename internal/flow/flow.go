@@ -8,6 +8,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -18,12 +19,27 @@ import (
 	"repro/internal/frames"
 	"repro/internal/ncd"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/phys"
 	"repro/internal/place"
 	"repro/internal/route"
 	"repro/internal/ucf"
 	"repro/internal/xdl"
+)
+
+// Stage metrics (always on; see internal/obs): per-stage latency
+// distributions plus build counters, the numbers behind the paper's C3
+// claim that constrained variant runs are much cheaper than full ones.
+var (
+	mMapNS    = obs.GetHistogram("flow.map_ns")
+	mPlaceNS  = obs.GetHistogram("flow.place_ns")
+	mRouteNS  = obs.GetHistogram("flow.route_ns")
+	mBitgenNS = obs.GetHistogram("flow.bitgen_ns")
+
+	mBaseBuilds    = obs.GetCounter("flow.base_builds")
+	mVariantBuilds = obs.GetCounter("flow.variant_builds")
+	mFullBuilds    = obs.GetCounter("flow.full_builds")
 )
 
 // StageTimes records per-stage wall-clock times of one CAD run.
@@ -230,34 +246,47 @@ func regionForNet(regions map[string]frames.Region) func(*netlist.Net) *frames.R
 }
 
 // run executes place -> route -> bitgen with timing and file emission.
-func run(p *device.Part, nl *netlist.Design, cons *ucf.Constraints,
+func run(ctx context.Context, p *device.Part, nl *netlist.Design, cons *ucf.Constraints,
 	rfn func(*netlist.Net) *frames.Region, opts Options, synthTime time.Duration) (Artifacts, error) {
 
 	a := Artifacts{Part: p, Netlist: nl}
 	a.Times.Synthesis = synthTime
+	mMapNS.Observe(synthTime.Nanoseconds())
 
 	t0 := time.Now()
+	_, sp := obs.Start(ctx, "place")
 	pd, err := place.Place(p, nl, place.Options{Seed: opts.Seed, Constraints: cons, Effort: opts.Effort, Guide: opts.Guide})
+	sp.End()
 	if err != nil {
 		return a, err
 	}
 	a.Times.Place = time.Since(t0)
+	mPlaceNS.Observe(a.Times.Place.Nanoseconds())
 
 	t0 = time.Now()
-	if err := route.Route(pd, route.Options{RegionForNet: rfn}); err != nil {
+	_, sp = obs.Start(ctx, "route")
+	err = route.Route(pd, route.Options{RegionForNet: rfn})
+	sp.End()
+	if err != nil {
 		return a, err
 	}
 	a.Times.Route = time.Since(t0)
 	a.Phys = pd
 
 	t0 = time.Now()
+	_, sp = obs.Start(ctx, "bitgen")
 	bs, err := bitgen.FullBitstream(pd)
+	sp.End()
 	if err != nil {
 		return a, err
 	}
 	a.Times.Bitgen = time.Since(t0)
 	a.Bitstream = bs
+	mRouteNS.Observe(a.Times.Route.Nanoseconds())
+	mBitgenNS.Observe(a.Times.Bitgen.Nanoseconds())
 
+	_, sp = obs.Start(ctx, "emit")
+	defer sp.End()
 	if a.XDL, err = xdl.Emit(pd); err != nil {
 		return a, err
 	}
@@ -272,27 +301,32 @@ func run(p *device.Part, nl *netlist.Design, cons *ucf.Constraints,
 
 // BuildBase runs Phase 1: floorplan the instances, build the partitioned
 // base design, and implement it with region-constrained place and route.
-func BuildBase(p *device.Part, insts []designs.Instance, opts Options) (*BaseBuild, error) {
+func BuildBase(ctx context.Context, p *device.Part, insts []designs.Instance, opts Options) (*BaseBuild, error) {
 	cons, regions, err := Floorplan(p, insts)
 	if err != nil {
 		return nil, err
 	}
-	return BuildBaseWith(p, insts, cons, regions, opts)
+	return BuildBaseWith(ctx, p, insts, cons, regions, opts)
 }
 
 // BuildBaseWith is BuildBase against an existing floorplan, for flows that
 // must keep regions and pads stable across rebuilds (e.g. producing the
 // complete per-variant bitstreams the PARBIT/JBitsDiff methodologies need).
-func BuildBaseWith(p *device.Part, insts []designs.Instance, cons *ucf.Constraints,
+func BuildBaseWith(ctx context.Context, p *device.Part, insts []designs.Instance, cons *ucf.Constraints,
 	regions map[string]frames.Region, opts Options) (*BaseBuild, error) {
+	ctx, sp := obs.Start(ctx, "flow.base")
+	defer sp.End()
+	mBaseBuilds.Inc()
 	t0 := time.Now()
+	_, ms := obs.Start(ctx, "map")
 	nl, err := designs.BaseDesign("base", insts)
+	ms.End()
 	if err != nil {
 		return nil, err
 	}
 	synthTime := time.Since(t0)
 
-	a, err := run(p, nl, cons, regionForNet(regions), opts, synthTime)
+	a, err := run(ctx, p, nl, cons, regionForNet(regions), opts, synthTime)
 	if err != nil {
 		return nil, fmt.Errorf("flow: base build: %w", err)
 	}
@@ -307,12 +341,12 @@ func BuildBaseWith(p *device.Part, insts []designs.Instance, cons *ucf.Constrain
 // standalone design constrained to the base design's region for the given
 // instance, inheriting the base's pad assignments so the interface stays
 // fixed. The resulting XDL/UCF pair is what JPG consumes.
-func BuildVariant(base *BaseBuild, prefix string, gen designs.Generator, opts Options) (*Artifacts, error) {
+func BuildVariant(ctx context.Context, base *BaseBuild, prefix string, gen designs.Generator, opts Options) (*Artifacts, error) {
 	rg, ok := base.Regions[prefix]
 	if !ok {
 		return nil, fmt.Errorf("flow: base has no instance %q", prefix)
 	}
-	return buildVariant(base.Part, rg, base.Pads, prefix, gen, opts)
+	return buildVariant(ctx, base.Part, rg, base.Pads, prefix, gen, opts)
 }
 
 // VariantSpec names one Phase 2 re-implementation for BuildVariants: a
@@ -332,9 +366,9 @@ type VariantSpec struct {
 // so the artifacts (XDL, UCF, bitstreams) are byte-identical to running
 // BuildVariant serially over the same specs, for any worker count.
 // On failure the lowest-index error is returned and the batch is discarded.
-func BuildVariants(base *BaseBuild, specs []VariantSpec, popts ...parallel.Option) ([]*Artifacts, error) {
-	return parallel.Map(specs, func(_ int, s VariantSpec) (*Artifacts, error) {
-		return BuildVariant(base, s.Prefix, s.Gen, s.Opts)
+func BuildVariants(ctx context.Context, base *BaseBuild, specs []VariantSpec, popts ...parallel.Option) ([]*Artifacts, error) {
+	return parallel.MapCtx(ctx, specs, func(ctx context.Context, _ int, s VariantSpec) (*Artifacts, error) {
+		return BuildVariant(ctx, base, s.Prefix, s.Gen, s.Opts)
 	}, popts...)
 }
 
@@ -342,30 +376,36 @@ func BuildVariants(base *BaseBuild, specs []VariantSpec, popts ...parallel.Optio
 // conventional flow — the paper's "one full CAD run per combination"
 // baseline, scheduled as the embarrassingly parallel farm it is. Results
 // are collected by combination index.
-func BuildFullMany(p *device.Part, combos [][]designs.Instance, opts Options, popts ...parallel.Option) ([]*Artifacts, error) {
-	return parallel.Map(combos, func(_ int, insts []designs.Instance) (*Artifacts, error) {
-		return BuildFull(p, insts, opts)
+func BuildFullMany(ctx context.Context, p *device.Part, combos [][]designs.Instance, opts Options, popts ...parallel.Option) ([]*Artifacts, error) {
+	return parallel.MapCtx(ctx, combos, func(ctx context.Context, _ int, insts []designs.Instance) (*Artifacts, error) {
+		return BuildFull(ctx, p, insts, opts)
 	}, popts...)
 }
 
 // BuildVariantUCF runs a Phase 2 project using only a base design's UCF to
 // recover the floorplan (region and pads) — the form the command-line tools
 // use, where the base build is a set of files rather than live objects.
-func BuildVariantUCF(p *device.Part, baseCons *ucf.Constraints, prefix string, gen designs.Generator, opts Options) (*Artifacts, error) {
+func BuildVariantUCF(ctx context.Context, p *device.Part, baseCons *ucf.Constraints, prefix string, gen designs.Generator, opts Options) (*Artifacts, error) {
 	instBase := strings.TrimSuffix(prefix, "/")
 	rg, ok := baseCons.Ranges["AG_"+instBase]
 	if !ok {
 		return nil, fmt.Errorf("flow: base UCF has no AREA_GROUP %q", "AG_"+instBase)
 	}
-	return buildVariant(p, rg, baseCons.NetLocs, prefix, gen, opts)
+	return buildVariant(ctx, p, rg, baseCons.NetLocs, prefix, gen, opts)
 }
 
-func buildVariant(part *device.Part, rg frames.Region, basePads map[string]string,
+func buildVariant(ctx context.Context, part *device.Part, rg frames.Region, basePads map[string]string,
 	prefix string, gen designs.Generator, opts Options) (*Artifacts, error) {
 	instBase := strings.TrimSuffix(prefix, "/")
+	ctx, sp := obs.Start(ctx, "flow.variant")
+	sp.SetStr("module", prefix+gen.Name())
+	defer sp.End()
+	mVariantBuilds.Inc()
 
 	t0 := time.Now()
+	_, ms := obs.Start(ctx, "map")
 	nl, err := designs.Standalone(gen, instBase+"_"+gen.Name(), prefix)
+	ms.End()
 	if err != nil {
 		return nil, err
 	}
@@ -402,7 +442,7 @@ func buildVariant(part *device.Part, rg frames.Region, basePads map[string]strin
 		r := rg
 		return &r
 	}
-	a, err := run(part, nl, cons, rfn, opts, synthTime)
+	a, err := run(ctx, part, nl, cons, rfn, opts, synthTime)
 	if err != nil {
 		return nil, fmt.Errorf("flow: variant %s%s: %w", prefix, gen.Name(), err)
 	}
@@ -415,7 +455,7 @@ func buildVariant(part *device.Part, rg frames.Region, basePads map[string]strin
 // nets inside a constrained AREA_GROUP are routed within the group's region;
 // port-connected nets roam free (a generic UCF does not plan pad adjacency
 // the way the partial-reconfiguration floorplanner does).
-func Implement(p *device.Part, nl *netlist.Design, cons *ucf.Constraints, opts Options) (*Artifacts, error) {
+func Implement(ctx context.Context, p *device.Part, nl *netlist.Design, cons *ucf.Constraints, opts Options) (*Artifacts, error) {
 	var rfn func(*netlist.Net) *frames.Region
 	if cons != nil && len(cons.Ranges) > 0 {
 		rfn = func(n *netlist.Net) *frames.Region {
@@ -429,7 +469,9 @@ func Implement(p *device.Part, nl *netlist.Design, cons *ucf.Constraints, opts O
 			return nil
 		}
 	}
-	a, err := run(p, nl, cons, rfn, opts, 0)
+	ctx, sp := obs.Start(ctx, "flow.implement")
+	defer sp.End()
+	a, err := run(ctx, p, nl, cons, rfn, opts, 0)
 	if err != nil {
 		return nil, fmt.Errorf("flow: implement: %w", err)
 	}
@@ -438,14 +480,19 @@ func Implement(p *device.Part, nl *netlist.Design, cons *ucf.Constraints, opts O
 
 // BuildFull implements a complete design with the conventional flow (no
 // floorplan constraints) — the baseline the paper compares against.
-func BuildFull(p *device.Part, insts []designs.Instance, opts Options) (*Artifacts, error) {
+func BuildFull(ctx context.Context, p *device.Part, insts []designs.Instance, opts Options) (*Artifacts, error) {
+	ctx, sp := obs.Start(ctx, "flow.full")
+	defer sp.End()
+	mFullBuilds.Inc()
 	t0 := time.Now()
+	_, ms := obs.Start(ctx, "map")
 	nl, err := designs.BaseDesign("full", insts)
+	ms.End()
 	if err != nil {
 		return nil, err
 	}
 	synthTime := time.Since(t0)
-	a, err := run(p, nl, nil, nil, opts, synthTime)
+	a, err := run(ctx, p, nl, nil, nil, opts, synthTime)
 	if err != nil {
 		return nil, fmt.Errorf("flow: full build: %w", err)
 	}

@@ -2,6 +2,7 @@ package flow
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -24,7 +25,7 @@ func twoInstances() []designs.Instance {
 
 func TestBuildBase(t *testing.T) {
 	p := device.MustByName("XCV50")
-	base, err := BuildBase(p, twoInstances(), Options{Seed: 1})
+	base, err := BuildBase(context.Background(), p, twoInstances(), Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,11 +93,11 @@ func hasPrefix(s, prefix string) bool {
 
 func TestBuildVariantInheritsInterface(t *testing.T) {
 	p := device.MustByName("XCV50")
-	base, err := BuildBase(p, twoInstances(), Options{Seed: 2})
+	base, err := BuildBase(context.Background(), p, twoInstances(), Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	va, err := BuildVariant(base, "u1/", designs.LFSR{Bits: 6}, Options{Seed: 3})
+	va, err := BuildVariant(context.Background(), base, "u1/", designs.LFSR{Bits: 6}, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,18 +133,18 @@ func TestBuildVariantInheritsInterface(t *testing.T) {
 
 func TestBuildVariantUnknownInstance(t *testing.T) {
 	p := device.MustByName("XCV50")
-	base, err := BuildBase(p, twoInstances(), Options{Seed: 2})
+	base, err := BuildBase(context.Background(), p, twoInstances(), Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := BuildVariant(base, "u9/", designs.Counter{Bits: 2}, Options{Seed: 1}); err == nil {
+	if _, err := BuildVariant(context.Background(), base, "u9/", designs.Counter{Bits: 2}, Options{Seed: 1}); err == nil {
 		t.Fatal("unknown instance accepted")
 	}
 }
 
 func TestBuildFull(t *testing.T) {
 	p := device.MustByName("XCV50")
-	full, err := BuildFull(p, twoInstances(), Options{Seed: 4})
+	full, err := BuildFull(context.Background(), p, twoInstances(), Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,16 +177,16 @@ func TestGuidedVariantReimplementation(t *testing.T) {
 	// the incremental-design support the paper's Figure 2 guide files
 	// provide.
 	p := device.MustByName("XCV50")
-	base, err := BuildBase(p, twoInstances(), Options{Seed: 11})
+	base, err := BuildBase(context.Background(), p, twoInstances(), Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	v1, err := BuildVariant(base, "u2/", designs.SBoxBank{N: 8, Seed: 5}, Options{Seed: 12})
+	v1, err := BuildVariant(context.Background(), base, "u2/", designs.SBoxBank{N: 8, Seed: 5}, Options{Seed: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// "Revise" the module: same structure, new LUT contents (seed change).
-	v2, err := BuildVariant(base, "u2/", designs.SBoxBank{N: 8, Seed: 6},
+	v2, err := BuildVariant(context.Background(), base, "u2/", designs.SBoxBank{N: 8, Seed: 6},
 		Options{Seed: 13, Effort: 0.05, Guide: GuideFrom(v1)})
 	if err != nil {
 		t.Fatal(err)
@@ -225,7 +226,7 @@ func TestImplementFromNetlistText(t *testing.T) {
 	}
 	cons := ucf.New()
 	cons.AddGroup("u1/*", "AG", frames.Region{R1: 0, C1: 0, R2: p.Rows - 1, C2: 7})
-	a, err := Implement(p, nl, cons, Options{Seed: 17})
+	a, err := Implement(context.Background(), p, nl, cons, Options{Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestImplementFromNetlistText(t *testing.T) {
 
 func TestBuildVariantsMatchesSerial(t *testing.T) {
 	p := device.MustByName("XCV50")
-	base, err := BuildBase(p, twoInstances(), Options{Seed: 4})
+	base, err := BuildBase(context.Background(), p, twoInstances(), Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,13 +265,13 @@ func TestBuildVariantsMatchesSerial(t *testing.T) {
 	}
 	serial := make([]*Artifacts, len(specs))
 	for i, s := range specs {
-		a, err := BuildVariant(base, s.Prefix, s.Gen, s.Opts)
+		a, err := BuildVariant(context.Background(), base, s.Prefix, s.Gen, s.Opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		serial[i] = a
 	}
-	concurrent, err := BuildVariants(base, specs, parallel.WithWorkers(4))
+	concurrent, err := BuildVariants(context.Background(), base, specs, parallel.WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestBuildVariantsMatchesSerial(t *testing.T) {
 
 func TestBuildVariantsReportsLowestIndexError(t *testing.T) {
 	p := device.MustByName("XCV50")
-	base, err := BuildBase(p, twoInstances(), Options{Seed: 4})
+	base, err := BuildBase(context.Background(), p, twoInstances(), Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestBuildVariantsReportsLowestIndexError(t *testing.T) {
 		{Prefix: "nope/", Gen: designs.Counter{Bits: 6}, Opts: Options{Seed: 1}},
 		{Prefix: "also-nope/", Gen: designs.Counter{Bits: 6}, Opts: Options{Seed: 1}},
 	}
-	_, err = BuildVariants(base, specs, parallel.WithWorkers(3))
+	_, err = BuildVariants(context.Background(), base, specs, parallel.WithWorkers(3))
 	if err == nil || !strings.Contains(err.Error(), `"nope/"`) {
 		t.Fatalf("want the index-1 error, got %v", err)
 	}
@@ -313,12 +314,12 @@ func TestBuildFullManyMatchesSerial(t *testing.T) {
 			{Prefix: "u2/", Gen: designs.SBoxBank{N: 8, Seed: 3}},
 		},
 	}
-	many, err := BuildFullMany(p, combos, Options{Seed: 5}, parallel.WithWorkers(2))
+	many, err := BuildFullMany(context.Background(), p, combos, Options{Seed: 5}, parallel.WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, combo := range combos {
-		one, err := BuildFull(p, combo, Options{Seed: 5})
+		one, err := BuildFull(context.Background(), p, combo, Options{Seed: 5})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package jbitsdiff
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bitstream"
@@ -13,7 +14,7 @@ import (
 func twoBuilds(t *testing.T) (*flow.BaseBuild, *flow.BaseBuild) {
 	t.Helper()
 	p := device.MustByName("XCV50")
-	a, err := flow.BuildBase(p, []designs.Instance{
+	a, err := flow.BuildBase(context.Background(), p, []designs.Instance{
 		{Prefix: "u1/", Gen: designs.Counter{Bits: 5}},
 		{Prefix: "u2/", Gen: designs.SBoxBank{N: 4, Seed: 9}},
 	}, flow.Options{Seed: 6})
@@ -22,7 +23,7 @@ func twoBuilds(t *testing.T) (*flow.BaseBuild, *flow.BaseBuild) {
 	}
 	// Same floorplan, u1 swapped for an LFSR: rebuild the whole design, as
 	// the JBitsDiff methodology requires.
-	b, err := flow.BuildBase(p, []designs.Instance{
+	b, err := flow.BuildBase(context.Background(), p, []designs.Instance{
 		{Prefix: "u1/", Gen: designs.LFSR{Bits: 5}},
 		{Prefix: "u2/", Gen: designs.SBoxBank{N: 4, Seed: 9}},
 	}, flow.Options{Seed: 6})
@@ -83,7 +84,7 @@ func TestExtractErrors(t *testing.T) {
 
 func flowBitstream(t *testing.T, part string) []byte {
 	t.Helper()
-	b, err := flow.BuildBase(device.MustByName(part), []designs.Instance{
+	b, err := flow.BuildBase(context.Background(), device.MustByName(part), []designs.Instance{
 		{Prefix: "u1/", Gen: designs.Counter{Bits: 4}},
 	}, flow.Options{Seed: 1})
 	if err != nil {

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named counters, gauges and histograms. Metric lookups are
+// lock-free after the first registration (sync.Map), and every update is a
+// handful of atomic operations, so instrumented hot paths — frame emission,
+// graph-cache hits, per-task pool accounting — pay nanoseconds.
+//
+// Most code uses the package-level Default registry through GetCounter /
+// GetGauge / GetHistogram; separate registries exist for tests.
+type Registry struct {
+	counters sync.Map // name -> *Counter
+	gauges   sync.Map // name -> *Gauge
+	hists    sync.Map // name -> *Histogram
+}
+
+// Default is the process-wide registry the instrumented packages report to.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (e.g. queue depth).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket 0
+// holds observations <= 0, bucket i (i >= 1) holds [2^(i-1), 2^i).
+const histBuckets = 64
+
+// Histogram accumulates int64 observations (typically nanoseconds or
+// bytes) into power-of-two buckets with atomic count/sum/min/max, so a
+// snapshot can report totals, the mean, and the distribution shape without
+// ever locking writers.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid when count > 0
+	max     atomic.Int64
+	buckets [histBuckets + 1]atomic.Int64
+}
+
+func bucketFor(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) // 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h.count.Add(1) == 1 {
+		// First observer seeds min/max; racing observers fix them up below.
+		h.min.Store(v)
+		h.max.Store(v)
+	}
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketFor(v)].Add(1)
+}
+
+// GetCounter returns (registering on first use) the named counter.
+func (r *Registry) GetCounter(name string) *Counter {
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := r.counters.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
+}
+
+// GetGauge returns (registering on first use) the named gauge.
+func (r *Registry) GetGauge(name string) *Gauge {
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := r.gauges.LoadOrStore(name, &Gauge{})
+	return v.(*Gauge)
+}
+
+// GetHistogram returns (registering on first use) the named histogram.
+func (r *Registry) GetHistogram(name string) *Histogram {
+	if v, ok := r.hists.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := r.hists.LoadOrStore(name, &Histogram{})
+	return v.(*Histogram)
+}
+
+// GetCounter returns the named counter from the Default registry.
+func GetCounter(name string) *Counter { return Default.GetCounter(name) }
+
+// GetGauge returns the named gauge from the Default registry.
+func GetGauge(name string) *Gauge { return Default.GetGauge(name) }
+
+// GetHistogram returns the named histogram from the Default registry.
+func GetHistogram(name string) *Histogram { return Default.GetHistogram(name) }
+
+// Bucket is one non-empty histogram bucket in a snapshot: N observations
+// with values <= Le (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observation (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry, ready for JSON encoding.
+// Each metric is read atomically; the set is collected without stopping
+// writers, so concurrent updates may straddle the cut (fine for reporting).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	r.counters.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		s.Gauges[k.(string)] = v.(*Gauge).Value()
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		h := v.(*Histogram)
+		hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+		if hs.Count > 0 {
+			hs.Min, hs.Max = h.min.Load(), h.max.Load()
+		}
+		for i := 0; i <= histBuckets; i++ {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			le := int64(0) // bucket 0: v <= 0
+			if i >= 63 {
+				le = math.MaxInt64
+			} else if i > 0 {
+				le = (int64(1) << i) - 1 // bucket i: v in [2^(i-1), 2^i)
+			}
+			hs.Buckets = append(hs.Buckets, Bucket{Le: le, N: n})
+		}
+		s.Histograms[k.(string)] = hs
+		return true
+	})
+	return s
+}
+
+// MarshalJSON keeps snapshot encoding deterministic (encoding/json already
+// sorts map keys; this exists so an empty snapshot still encodes cleanly).
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot
+	return json.Marshal(alias(s))
+}
+
+// Render formats the snapshot as aligned "name value" text, sorted by
+// name, for the CLIs' -metrics / -v reporting.
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "counter    %-36s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "gauge      %-36s %d\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "histogram  %-36s count %d sum %d mean %.1f min %d max %d\n",
+			n, h.Count, h.Sum, h.Mean(), h.Min, h.Max)
+	}
+	return b.String()
+}

@@ -11,14 +11,24 @@
 // therefore produces bit-identical results whether it runs on one worker or
 // on every core, which the determinism regression tests in
 // internal/experiments assert end to end.
+//
+// The pool is instrumented through internal/obs: each batch is a span, each
+// worker is a trace lane, and each task records its queue wait (batch start
+// to task start) and run time, plus always-on counters/histograms
+// (parallel.tasks, parallel.task_queue_wait_ns, parallel.task_run_ns,
+// parallel.queue_depth). Observability never alters scheduling or results.
 package parallel
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // EnvWorkers is the environment variable overriding the default worker
@@ -68,18 +78,68 @@ func resolve(n int, opts []Option) int {
 	return w
 }
 
-// ForEachN runs fn(0..n-1) on a bounded worker pool and waits for the batch.
-// On the first error the pool stops handing out new indices (in-flight items
-// run to completion), and the returned error is the lowest-index one — not
-// the first observed — so failures are reproducible across worker counts.
-func ForEachN(n int, fn func(i int) error, opts ...Option) error {
+// Pool metrics (always on; see internal/obs).
+var (
+	mBatches    = obs.GetCounter("parallel.batches")
+	mTasks      = obs.GetCounter("parallel.tasks")
+	mQueueDepth = obs.GetGauge("parallel.queue_depth")
+	mQueueWait  = obs.GetHistogram("parallel.task_queue_wait_ns")
+	mRunTime    = obs.GetHistogram("parallel.task_run_ns")
+)
+
+// task wraps one index's execution with its observability: a span on the
+// executing worker's lane carrying the index and queue wait, and the
+// registry's per-task histograms. batchStart anchors the queue wait — in
+// this pool work is "queued" from batch start until a worker picks the
+// index up.
+func runTask(ctx context.Context, i int, batchStart time.Time, fn func(ctx context.Context, i int) error) error {
+	wait := time.Since(batchStart)
+	tctx, sp := obs.Start(ctx, "task")
+	sp.SetInt("index", int64(i))
+	sp.SetInt("queue_wait_ns", wait.Nanoseconds())
+	t0 := time.Now()
+	err := fn(tctx, i)
+	mTasks.Inc()
+	mQueueDepth.Add(-1)
+	mQueueWait.Observe(wait.Nanoseconds())
+	mRunTime.Observe(time.Since(t0).Nanoseconds())
+	sp.End()
+	return err
+}
+
+// ForEachNCtx runs fn(ctx, 0..n-1) on a bounded worker pool and waits for
+// the batch. Each worker derives a per-worker context (its trace lane) from
+// ctx, so spans started inside fn land on that worker's lane. On the first
+// error the pool stops handing out new indices (in-flight items run to
+// completion), and the returned error is the lowest-index one — not the
+// first observed — so failures are reproducible across worker counts.
+func ForEachNCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) error, opts ...Option) error {
 	if n <= 0 {
 		return nil
 	}
 	workers := resolve(n, opts)
+
+	bctx, batch := obs.Start(ctx, "parallel.batch")
+	batch.SetInt("tasks", int64(n))
+	batch.SetInt("workers", int64(workers))
+	defer batch.End()
+	mBatches.Inc()
+	mQueueDepth.Add(int64(n))
+	batchStart := time.Now()
+
+	// runTask decrements the depth gauge per executed task; on early failure
+	// the never-executed remainder is settled here so the gauge returns to
+	// its pre-batch level.
+	var ran atomic.Int64
+	exec := func(ctx context.Context, i int) error {
+		ran.Add(1)
+		return runTask(ctx, i, batchStart, fn)
+	}
+	defer func() { mQueueDepth.Add(ran.Load() - int64(n)) }()
+
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := exec(bctx, i); err != nil {
 				return err
 			}
 		}
@@ -105,14 +165,19 @@ func ForEachN(n int, fn func(i int) error, opts ...Option) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		w := w
 		go func() {
 			defer wg.Done()
+			wctx := bctx
+			if obs.Active(bctx) {
+				wctx = obs.Lane(bctx, "worker "+strconv.Itoa(w))
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := exec(wctx, i); err != nil {
 					report(i, err)
 					return
 				}
@@ -123,14 +188,21 @@ func ForEachN(n int, fn func(i int) error, opts ...Option) error {
 	return firstErr
 }
 
-// Map runs fn over items on a bounded worker pool, collecting results by
-// item index (never by completion order). It inherits ForEachN's
+// ForEachN is ForEachNCtx without a caller context (no tracing parentage;
+// metrics still record).
+func ForEachN(n int, fn func(i int) error, opts ...Option) error {
+	return ForEachNCtx(context.Background(), n, func(_ context.Context, i int) error { return fn(i) }, opts...)
+}
+
+// MapCtx runs fn over items on a bounded worker pool, collecting results by
+// item index (never by completion order). It inherits ForEachNCtx's
 // cancel-on-first-error, lowest-index-error contract; on error the partial
-// results are discarded.
-func Map[T, R any](items []T, fn func(i int, item T) (R, error), opts ...Option) ([]R, error) {
+// results are discarded. The per-item context carries the executing
+// worker's trace lane.
+func MapCtx[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, i int, item T) (R, error), opts ...Option) ([]R, error) {
 	out := make([]R, len(items))
-	err := ForEachN(len(items), func(i int) error {
-		r, err := fn(i, items[i])
+	err := ForEachNCtx(ctx, len(items), func(ctx context.Context, i int) error {
+		r, err := fn(ctx, i, items[i])
 		if err != nil {
 			return err
 		}
@@ -143,10 +215,22 @@ func Map[T, R any](items []T, fn func(i int, item T) (R, error), opts ...Option)
 	return out, nil
 }
 
-// Do runs the given thunks concurrently (each thunk is one work item) and
-// waits for all of them, with the same error contract as ForEachN. It is the
-// shape for heterogeneous independent steps, e.g. a conventional build and a
-// floorplanned build of the same design.
+// Map is MapCtx without a caller context.
+func Map[T, R any](items []T, fn func(i int, item T) (R, error), opts ...Option) ([]R, error) {
+	return MapCtx(context.Background(), items, func(_ context.Context, i int, item T) (R, error) {
+		return fn(i, item)
+	}, opts...)
+}
+
+// DoCtx runs the given thunks concurrently (each thunk is one work item)
+// and waits for all of them, with the same error contract as ForEachNCtx.
+// It is the shape for heterogeneous independent steps, e.g. a conventional
+// build and a floorplanned build of the same design.
+func DoCtx(ctx context.Context, thunks []func(ctx context.Context) error, opts ...Option) error {
+	return ForEachNCtx(ctx, len(thunks), func(ctx context.Context, i int) error { return thunks[i](ctx) }, opts...)
+}
+
+// Do is DoCtx over context-free thunks.
 func Do(thunks []func() error, opts ...Option) error {
 	return ForEachN(len(thunks), func(i int) error { return thunks[i]() }, opts...)
 }

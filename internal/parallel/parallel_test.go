@@ -1,10 +1,13 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestForEachNRunsEveryIndexOnce(t *testing.T) {
@@ -146,5 +149,111 @@ func TestDefaultWorkersEnvOverride(t *testing.T) {
 	t.Setenv(EnvWorkers, "-2")
 	if got := DefaultWorkers(); got != runtime.NumCPU() {
 		t.Fatalf("negative JPG_WORKERS: DefaultWorkers() = %d, want NumCPU", got)
+	}
+}
+
+func TestCtxVariantsRunEveryItem(t *testing.T) {
+	ctx := context.Background()
+	n := 40
+	counts := make([]atomic.Int32, n)
+	if err := ForEachNCtx(ctx, n, func(_ context.Context, i int) error {
+		counts[i].Add(1)
+		return nil
+	}, WithWorkers(4)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, counts[i].Load())
+		}
+	}
+	items := []int{3, 1, 4, 1, 5}
+	got, err := MapCtx(ctx, items, func(_ context.Context, i, v int) (int, error) {
+		return v * 10, nil
+	}, WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range items {
+		if got[i] != v*10 {
+			t.Fatalf("MapCtx[%d] = %d, want %d", i, got[i], v*10)
+		}
+	}
+	var a, b atomic.Bool
+	if err := DoCtx(ctx, []func(context.Context) error{
+		func(context.Context) error { a.Store(true); return nil },
+		func(context.Context) error { b.Store(true); return nil },
+	}, WithWorkers(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Load() || !b.Load() {
+		t.Fatal("DoCtx skipped a thunk")
+	}
+}
+
+// TestBatchSpansAndLanes checks the observability contract of the pool:
+// a traced batch yields one batch span plus one task span per index, with
+// each task on a named worker lane, and the queue-depth gauge settles to
+// its pre-batch value.
+func TestBatchSpansAndLanes(t *testing.T) {
+	col := obs.New()
+	ctx := col.Attach(context.Background())
+	depth0 := obs.GetGauge("parallel.queue_depth").Value()
+	const n = 12
+	if err := ForEachNCtx(ctx, n, func(ctx context.Context, i int) error {
+		_, sp := obs.Start(ctx, "inner")
+		sp.End()
+		return nil
+	}, WithWorkers(3)); err != nil {
+		t.Fatal(err)
+	}
+	if d := obs.GetGauge("parallel.queue_depth").Value(); d != depth0 {
+		t.Errorf("queue depth did not settle: %d -> %d", depth0, d)
+	}
+	spans := col.Spans()
+	var batches, tasks, inners int
+	taskLanes := map[int64]bool{}
+	for _, s := range spans {
+		switch s.Name {
+		case "parallel.batch":
+			batches++
+			if s.Lane != 0 {
+				t.Errorf("batch span on lane %d, want 0 (main)", s.Lane)
+			}
+		case "task":
+			tasks++
+			taskLanes[s.Lane] = true
+		case "inner":
+			inners++
+		}
+	}
+	if batches != 1 || tasks != n || inners != n {
+		t.Fatalf("spans: %d batch, %d task, %d inner; want 1, %d, %d", batches, tasks, inners, n, n)
+	}
+	lanes := col.LaneNames()
+	for lane := range taskLanes {
+		if lane == 0 {
+			t.Error("task span recorded on the main lane")
+		} else if name := lanes[lane]; len(name) < 7 || name[:7] != "worker " {
+			t.Errorf("task lane %d named %q, want worker prefix", lane, name)
+		}
+	}
+}
+
+// TestSerialBatchTracesOnCallerLane: workers==1 must not spawn lanes.
+func TestSerialBatchTracesOnCallerLane(t *testing.T) {
+	col := obs.New()
+	ctx := col.Attach(context.Background())
+	if err := ForEachNCtx(ctx, 3, func(context.Context, int) error { return nil },
+		WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range col.Spans() {
+		if s.Lane != 0 {
+			t.Fatalf("serial batch recorded span %q on lane %d", s.Name, s.Lane)
+		}
+	}
+	if lanes := col.LaneNames(); len(lanes) != 1 {
+		t.Fatalf("serial batch created extra lanes: %v", lanes)
 	}
 }

@@ -1,6 +1,7 @@
 package parbit
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 
 func baseBitstream(t *testing.T) (*flow.BaseBuild, []byte) {
 	t.Helper()
-	base, err := flow.BuildBase(device.MustByName("XCV50"), []designs.Instance{
+	base, err := flow.BuildBase(context.Background(), device.MustByName("XCV50"), []designs.Instance{
 		{Prefix: "u1/", Gen: designs.Counter{Bits: 5}},
 		{Prefix: "u2/", Gen: designs.LFSR{Bits: 5}},
 	}, flow.Options{Seed: 6})

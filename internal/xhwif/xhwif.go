@@ -12,6 +12,7 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/device"
 	"repro/internal/frames"
+	"repro/internal/obs"
 )
 
 // DefaultClockHz is the default SelectMAP configuration clock.
@@ -41,6 +42,18 @@ type DownloadStats struct {
 	// device do not).
 	Started bool
 }
+
+// Download metrics (always on; see internal/obs): sizes, frame counts and
+// modelled SelectMAP transfer times — the observable behind the paper's
+// download-time claim (a partial stream configures in a fraction of the
+// full stream's time).
+var (
+	mDownloads     = obs.GetCounter("xhwif.downloads")
+	mDownloadBytes = obs.GetCounter("xhwif.bytes_downloaded")
+	mFramesWritten = obs.GetCounter("xhwif.frames_written")
+	mDownloadNs    = obs.GetHistogram("xhwif.download_model_ns")
+	mDownloadSizeB = obs.GetHistogram("xhwif.download_bytes_hist")
+)
 
 // Board is a simulated FPGA board holding one device.
 type Board struct {
@@ -95,6 +108,11 @@ func (b *Board) Download(bs []byte) (DownloadStats, error) {
 	b.Downloads++
 	b.TotalBytes += ds.Bytes
 	b.TotalModelTime += ds.ModelTime
+	mDownloads.Inc()
+	mDownloadBytes.Add(int64(ds.Bytes))
+	mFramesWritten.Add(int64(ds.FramesWritten))
+	mDownloadNs.Observe(ds.ModelTime.Nanoseconds())
+	mDownloadSizeB.Observe(int64(ds.Bytes))
 	return ds, nil
 }
 

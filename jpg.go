@@ -20,6 +20,7 @@
 package jpg
 
 import (
+	"context"
 	"fmt"
 	"repro/internal/bitfile"
 	"repro/internal/bitstream"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/jbitsdiff"
 	"repro/internal/jroute"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/parbit"
 	"repro/internal/sim"
@@ -86,19 +88,21 @@ type (
 )
 
 // BuildBase implements a floorplanned, partitioned base design (Phase 1).
-func BuildBase(p *Part, insts []Instance, opts FlowOptions) (*BaseBuild, error) {
-	return flow.BuildBase(p, insts, opts)
+// The context carries observability (see NewTraceCollector); tracing never
+// changes results.
+func BuildBase(ctx context.Context, p *Part, insts []Instance, opts FlowOptions) (*BaseBuild, error) {
+	return flow.BuildBase(ctx, p, insts, opts)
 }
 
 // BuildVariant implements one sub-module variant as its own constrained
 // project (Phase 2), producing the XDL/UCF pair JPG consumes.
-func BuildVariant(base *BaseBuild, prefix string, gen Generator, opts FlowOptions) (*Artifacts, error) {
-	return flow.BuildVariant(base, prefix, gen, opts)
+func BuildVariant(ctx context.Context, base *BaseBuild, prefix string, gen Generator, opts FlowOptions) (*Artifacts, error) {
+	return flow.BuildVariant(ctx, base, prefix, gen, opts)
 }
 
 // BuildFull implements a complete design with the conventional flow.
-func BuildFull(p *Part, insts []Instance, opts FlowOptions) (*Artifacts, error) {
-	return flow.BuildFull(p, insts, opts)
+func BuildFull(ctx context.Context, p *Part, insts []Instance, opts FlowOptions) (*Artifacts, error) {
+	return flow.BuildFull(ctx, p, insts, opts)
 }
 
 // Concurrent farms. Per-variant CAD runs are independent projects, so
@@ -116,17 +120,38 @@ type (
 // strictly serial).
 func WithWorkers(n int) WorkerOption { return parallel.WithWorkers(n) }
 
+// Observability (see internal/obs). A TraceCollector attached to the
+// context passed into the build functions records hierarchical spans for
+// every CAD stage (map, place, route, bitgen) on per-worker lanes;
+// MetricsNow snapshots the always-on registry of counters, gauges and
+// histograms (graph-cache hits, frames emitted, pool queue depth, ...).
+type (
+	// TraceCollector gathers spans for one run and exports them as plain
+	// JSON or the Chrome trace-event format (chrome://tracing).
+	TraceCollector = obs.Collector
+	// MetricsSnapshot is a point-in-time copy of the metrics registry.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewTraceCollector returns an empty collector; attach it with
+// (*TraceCollector).Attach(ctx) and pass the returned context to the build
+// functions.
+func NewTraceCollector() *TraceCollector { return obs.New() }
+
+// MetricsNow snapshots the process-wide metrics registry.
+func MetricsNow() MetricsSnapshot { return obs.Default.Snapshot() }
+
 // BuildVariants implements a batch of sub-module variants concurrently
 // (Phase 2 as a farm). Project.GeneratePartialAll is the matching
 // concurrent partial-bitstream generator.
-func BuildVariants(base *BaseBuild, specs []VariantSpec, opts ...WorkerOption) ([]*Artifacts, error) {
-	return flow.BuildVariants(base, specs, opts...)
+func BuildVariants(ctx context.Context, base *BaseBuild, specs []VariantSpec, opts ...WorkerOption) ([]*Artifacts, error) {
+	return flow.BuildVariants(ctx, base, specs, opts...)
 }
 
 // BuildFullMany implements many complete designs concurrently with the
 // conventional flow (the paper's one-run-per-combination baseline).
-func BuildFullMany(p *Part, combos [][]Instance, opts FlowOptions, popts ...WorkerOption) ([]*Artifacts, error) {
-	return flow.BuildFullMany(p, combos, opts, popts...)
+func BuildFullMany(ctx context.Context, p *Part, combos [][]Instance, opts FlowOptions, popts ...WorkerOption) ([]*Artifacts, error) {
+	return flow.BuildFullMany(ctx, p, combos, opts, popts...)
 }
 
 // The JPG tool.
@@ -223,7 +248,7 @@ func ParseNetlist(text string) (*Netlist, error) { return netlist.ParseText(text
 
 // Implement places, routes and bitgens an arbitrary netlist with optional
 // UCF constraint text.
-func Implement(p *Part, nl *Netlist, ucfText string, opts FlowOptions) (*Artifacts, error) {
+func Implement(ctx context.Context, p *Part, nl *Netlist, ucfText string, opts FlowOptions) (*Artifacts, error) {
 	var cons *ucf.Constraints
 	if ucfText != "" {
 		var err error
@@ -231,7 +256,7 @@ func Implement(p *Part, nl *Netlist, ucfText string, opts FlowOptions) (*Artifac
 			return nil, err
 		}
 	}
-	return flow.Implement(p, nl, cons, opts)
+	return flow.Implement(ctx, p, nl, cons, opts)
 }
 
 // JBits is the low-level resource API over configuration memory (LUTs,

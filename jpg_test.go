@@ -5,6 +5,7 @@ package jpg
 // the composition.
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -28,14 +29,14 @@ func TestPublicEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := BuildBase(p, []Instance{
+	base, err := BuildBase(context.Background(), p, []Instance{
 		{Prefix: "u1/", Gen: Counter{Bits: 5}},
 		{Prefix: "u2/", Gen: SBoxBank{N: 4, Seed: 2}},
 	}, FlowOptions{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	variant, err := BuildVariant(base, "u1/", LFSR{Bits: 5}, FlowOptions{Seed: 10})
+	variant, err := BuildVariant(context.Background(), base, "u1/", LFSR{Bits: 5}, FlowOptions{Seed: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestPublicBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := BuildFull(p, []Instance{{Prefix: "u1/", Gen: Counter{Bits: 4}}}, FlowOptions{Seed: 3})
+	full, err := BuildFull(context.Background(), p, []Instance{{Prefix: "u1/", Gen: Counter{Bits: 4}}}, FlowOptions{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestPublicBaselines(t *testing.T) {
 	if len(partial) >= len(full.Bitstream) {
 		t.Fatal("parbit window not smaller than full")
 	}
-	full2, err := BuildFull(p, []Instance{{Prefix: "u1/", Gen: Counter{Bits: 4}}}, FlowOptions{Seed: 4})
+	full2, err := BuildFull(context.Background(), p, []Instance{{Prefix: "u1/", Gen: Counter{Bits: 4}}}, FlowOptions{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestPublicTimingAndGuides(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := BuildFull(p, []Instance{{Prefix: "u1/", Gen: Counter{Bits: 5}}}, FlowOptions{Seed: 7})
+	full, err := BuildFull(context.Background(), p, []Instance{{Prefix: "u1/", Gen: Counter{Bits: 5}}}, FlowOptions{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestPublicRuntimeRouterAndBRAM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := BuildBase(p, []Instance{{Prefix: "u1/", Gen: Counter{Bits: 4}}}, FlowOptions{Seed: 8})
+	base, err := BuildBase(context.Background(), p, []Instance{{Prefix: "u1/", Gen: Counter{Bits: 4}}}, FlowOptions{Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
