@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/bitstream"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/designs"
 	"repro/internal/device"
@@ -68,6 +69,32 @@ func BenchmarkE1Parallel(b *testing.B) {
 		cfg.Workers = runtime.NumCPU()
 		return experiments.E1(cfg)
 	})
+}
+
+// BenchmarkE1Cold runs every E1 iteration against a fresh build cache: all
+// CAD stages compute, plus the cache's own bookkeeping. Compare with
+// BenchmarkE1Warm — the ns/op ratio is the amortization the cache buys.
+func BenchmarkE1Cold(b *testing.B) {
+	benchExperiment(b, "E1", func(cfg experiments.Config) (*experiments.Table, error) {
+		cfg.Cache = cache.New(cache.Options{NoDisk: true})
+		return experiments.E1(cfg)
+	})
+}
+
+// BenchmarkE1Warm runs E1 against one pre-warmed build cache: every place,
+// route, bitgen and partial-generation stage is served by content address.
+// The determinism tests prove the tables and bitstreams stay byte-identical.
+func BenchmarkE1Warm(b *testing.B) {
+	c := cache.New(cache.Options{NoDisk: true})
+	warm := func(cfg experiments.Config) (*experiments.Table, error) {
+		cfg.Cache = c
+		return experiments.E1(cfg)
+	}
+	if _, err := warm(experiments.Config{Seed: 1, Quick: testing.Short()}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchExperiment(b, "E1", warm)
 }
 
 // BenchmarkE2_BitstreamSizes regenerates the §2.1 size table: partial vs

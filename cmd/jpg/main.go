@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/bitfile"
 	"repro/internal/bitstream"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/xhwif"
@@ -49,6 +50,8 @@ func run() error {
 		download  = flag.Bool("download", false, "download to a simulated board and report the reconfiguration time")
 		compress  = flag.Bool("compress", false, "emit an MFWR-compressed partial bitstream")
 		verbose   = flag.Bool("v", false, "trace the tool's stages and print a per-stage summary and metrics")
+		useCache  = flag.Bool("cache", cache.EnvEnabled(), "memoize partial-bitstream generation (content-addressed; default $JPG_CACHE/$JPG_CACHE_DIR)")
+		cacheDir  = flag.String("cache-dir", os.Getenv(cache.EnvDir), "persist the cache on disk under this directory (implies -cache)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -87,6 +90,9 @@ func run() error {
 	sp.End()
 	if err != nil {
 		return err
+	}
+	if *useCache || *cacheDir != "" {
+		proj.Cache = cache.New(cache.Options{Dir: *cacheDir, NoDisk: *cacheDir == ""})
 	}
 	fmt.Printf("project: %s, base bitstream %d bytes\n", proj.Part, len(baseBS))
 

@@ -14,6 +14,9 @@
 //	jpgbench -trace t.json   # write a Chrome trace (chrome://tracing) of the
 //	                         # pooled runs: per-stage spans on per-worker lanes
 //	jpgbench -metrics        # print the metrics registry snapshot after the run
+//	jpgbench -cache          # memoize CAD stages (content-addressed; results
+//	                         # are byte-identical, only wall-clock changes)
+//	jpgbench -cache-dir d    # persist the cache on disk under d
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -61,14 +65,57 @@ type perfRecord struct {
 	NumCPU      int              `json:"num_cpu"`
 	Workers     int              `json:"workers"`
 	Experiments []perfExperiment `json:"experiments"`
-	Metrics     obs.Snapshot     `json:"metrics"`
+	// Cache summarises the build cache after the runs (nil when -cache is
+	// off): bounds, per-stage hits/misses and hit rates.
+	Cache   *cacheRecord `json:"cache,omitempty"`
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 type perfExperiment struct {
-	ID              string  `json:"id"`
-	SerialSeconds   float64 `json:"serial_seconds"`
+	ID            string  `json:"id"`
+	SerialSeconds float64 `json:"serial_seconds"`
+	// ParallelSeconds times the pooled run with a cold cache (or no cache).
 	ParallelSeconds float64 `json:"parallel_seconds"`
-	Speedup         float64 `json:"speedup"`
+	// Speedup is serial/parallel; null when no parallelism is possible
+	// (workers <= 1 or a single-CPU host), where the "parallel" run is just
+	// a second serial run and the ratio would be measurement noise.
+	Speedup *float64 `json:"speedup"`
+	// WarmSeconds/WarmSpeedup time a cache-warm rerun of the pooled
+	// configuration (only with -cache); WarmSpeedup is cold/warm.
+	WarmSeconds *float64 `json:"warm_seconds,omitempty"`
+	WarmSpeedup *float64 `json:"warm_speedup,omitempty"`
+	Note        string   `json:"note,omitempty"`
+}
+
+// cacheRecord is the -json view of cache.Stats.
+type cacheRecord struct {
+	Enabled   bool                  `json:"enabled"`
+	Dir       string                `json:"dir,omitempty"`
+	Entries   int                   `json:"entries"`
+	Bytes     int64                 `json:"bytes"`
+	Evictions int64                 `json:"evictions"`
+	Stages    map[string]cacheStage `json:"stages,omitempty"`
+}
+
+type cacheStage struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+func newCacheRecord(c *cache.Cache) *cacheRecord {
+	st := c.Stats()
+	rec := &cacheRecord{
+		Enabled: true, Dir: c.Dir(),
+		Entries: st.Entries, Bytes: st.Bytes, Evictions: st.Evictions,
+	}
+	if len(st.Stages) > 0 {
+		rec.Stages = make(map[string]cacheStage, len(st.Stages))
+		for name, s := range st.Stages {
+			rec.Stages[name] = cacheStage{Hits: s.Hits, Misses: s.Misses, HitRate: s.HitRate()}
+		}
+	}
+	return rec
 }
 
 func main() {
@@ -81,9 +128,16 @@ func main() {
 		jsonPath = flag.String("json", "", "write a serial-vs-parallel perf record to this file")
 		tracePth = flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) of the pooled runs to this file")
 		metrics  = flag.Bool("metrics", false, "print the metrics registry snapshot and per-stage span summary after the run")
+		useCache = flag.Bool("cache", cache.EnvEnabled(), "memoize CAD stage results (content-addressed; default $JPG_CACHE/$JPG_CACHE_DIR)")
+		cacheDir = flag.String("cache-dir", os.Getenv(cache.EnvDir), "persist the cache on disk under this directory (implies -cache)")
 	)
 	flag.Parse()
 	cfg := experiments.Config{Part: *part, Seed: *seed, Quick: *quick, Workers: *workers}
+	var bcache *cache.Cache
+	if *useCache || *cacheDir != "" {
+		bcache = cache.New(cache.Options{Dir: *cacheDir, NoDisk: *cacheDir == ""})
+		cfg.Cache = bcache
+	}
 	// Tracing observes only the pooled runs (the serial -json reruns stay
 	// untraced so the trace reflects one configuration); results are
 	// byte-identical with tracing on or off.
@@ -111,12 +165,14 @@ func main() {
 		}
 		// With -json, time a strictly serial run first; results are
 		// byte-identical (only wall-clock changes), so only the pooled
-		// run's table is printed.
+		// run's table is printed. The serial rerun is uncached so it stays
+		// a true baseline.
 		var serial time.Duration
 		if *jsonPath != "" {
 			serialCfg := cfg
 			serialCfg.Workers = 1
-			serialCfg.Ctx = nil // keep the serial rerun out of the trace
+			serialCfg.Ctx = nil   // keep the serial rerun out of the trace
+			serialCfg.Cache = nil // and out of the cache
 			t0 := time.Now()
 			if _, err := exp.run(serialCfg); err != nil {
 				fmt.Fprintf(os.Stderr, "%s (serial): %v\n", exp.id, err)
@@ -141,15 +197,41 @@ func main() {
 			}
 		}
 		if *jsonPath != "" {
-			record.Experiments = append(record.Experiments, perfExperiment{
+			pe := perfExperiment{
 				ID:              exp.id,
 				SerialSeconds:   serial.Seconds(),
 				ParallelSeconds: elapsed.Seconds(),
-				Speedup:         serial.Seconds() / elapsed.Seconds(),
-			})
+			}
+			switch {
+			case record.Workers <= 1:
+				pe.Note = "workers <= 1: the pooled run is a second serial run, speedup would be noise"
+			case record.NumCPU <= 1:
+				pe.Note = "single-CPU host: no parallel speedup is possible"
+			default:
+				s := serial.Seconds() / elapsed.Seconds()
+				pe.Speedup = &s
+			}
+			// With the cache populated by the run above, time a warm rerun
+			// of the same pooled configuration.
+			if bcache != nil {
+				t0 = time.Now()
+				if _, err := exp.run(cfg); err != nil {
+					fmt.Fprintf(os.Stderr, "%s (warm): %v\n", exp.id, err)
+					failed = true
+					continue
+				}
+				warm := time.Since(t0).Seconds()
+				ratio := elapsed.Seconds() / warm
+				pe.WarmSeconds = &warm
+				pe.WarmSpeedup = &ratio
+			}
+			record.Experiments = append(record.Experiments, pe)
 		}
 	}
 	record.Version = obs.ExportVersion
+	if bcache != nil {
+		record.Cache = newCacheRecord(bcache)
+	}
 	record.Metrics = obs.Default.Snapshot()
 	if *tracePth != "" {
 		f, err := os.Create(*tracePth)
@@ -186,8 +268,15 @@ func main() {
 			os.Exit(1)
 		}
 		for _, e := range record.Experiments {
-			fmt.Printf("perf %s: serial %.3fs, %d workers %.3fs (%.2fx)\n",
-				e.ID, e.SerialSeconds, record.Workers, e.ParallelSeconds, e.Speedup)
+			line := fmt.Sprintf("perf %s: serial %.3fs, %d workers %.3fs",
+				e.ID, e.SerialSeconds, record.Workers, e.ParallelSeconds)
+			if e.Speedup != nil {
+				line += fmt.Sprintf(" (%.2fx)", *e.Speedup)
+			}
+			if e.WarmSeconds != nil {
+				line += fmt.Sprintf(", warm %.3fs (%.2fx vs cold)", *e.WarmSeconds, *e.WarmSpeedup)
+			}
+			fmt.Println(line)
 		}
 		fmt.Printf("perf record written to %s\n", *jsonPath)
 	}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/bitfile"
+	"repro/internal/cache"
 	"repro/internal/designs"
 	"repro/internal/device"
 	"repro/internal/flow"
@@ -49,6 +50,8 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "random seed for placement")
 		effort   = flag.Float64("effort", 1.0, "placer effort")
 		trace    = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the run to this file")
+		useCache = flag.Bool("cache", cache.EnvEnabled(), "memoize CAD stage results (content-addressed; default $JPG_CACHE/$JPG_CACHE_DIR)")
+		cacheDir = flag.String("cache-dir", os.Getenv(cache.EnvDir), "persist the cache on disk under this directory (implies -cache)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -56,6 +59,9 @@ func run() error {
 	if *trace != "" {
 		col = obs.New()
 		ctx = col.Attach(ctx)
+	}
+	if *useCache || *cacheDir != "" {
+		ctx = cache.With(ctx, cache.New(cache.Options{Dir: *cacheDir, NoDisk: *cacheDir == ""}))
 	}
 	part, err := device.ByName(*partName)
 	if err != nil {

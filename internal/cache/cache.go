@@ -1,0 +1,515 @@
+// Package cache is a content-addressed memoization layer for the CAD flow.
+//
+// The paper's economic claim (C1/C3) is that partial reconfiguration avoids
+// redundant CAD work; this package generalises the same amortization to every
+// stage of the reproduction's flow. A stage result (a placement, a routed
+// design, a bitstream, a generated partial) is stored under a Key derived
+// from a stable hash of everything the stage's output depends on — netlist
+// content, constraints, part, region, seed, options — so byte-identical
+// inputs fetch byte-identical outputs instead of recomputing them.
+//
+// The cache is a concurrency-safe in-memory LRU (bounded by entry count and
+// approximate bytes) with an optional on-disk store under $JPG_CACHE_DIR
+// (atomic rename writes, corruption-tolerant reads that degrade to a miss).
+// Lookups are single-flighted: when two workers request the same missing key
+// concurrently, one computes and the other waits for the result, so a warm
+// pool never duplicates in-flight work.
+//
+// Correctness contract: a cache must never change results, only wall-clock.
+// Keys therefore cover every input a stage consumes, and the flow's
+// determinism tests assert byte-identical artifacts with the cache cold,
+// warm, and disabled, at any worker count. All methods are safe on a nil
+// *Cache (they degrade to straight computation), so callers thread an
+// optional cache without branching.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Key is a content-address: a SHA-256 over a stage's labelled inputs.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex (the on-disk file name).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Hasher accumulates labelled fields into a Key. Every field is written as
+// (label, length, value) so field boundaries can never alias, and the
+// constructor's domain string separates key spaces of different stages.
+type Hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// NewHasher starts a hash in the given domain (e.g. "flow.place/v1").
+// Bump the domain's version suffix whenever the set or meaning of hashed
+// fields changes, so stale disk entries can never be misread.
+func NewHasher(domain string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.write("domain", []byte(domain))
+	return h
+}
+
+func (h *Hasher) write(label string, val []byte) {
+	binary.BigEndian.PutUint64(h.buf[:], uint64(len(label)))
+	h.h.Write(h.buf[:])
+	h.h.Write([]byte(label))
+	binary.BigEndian.PutUint64(h.buf[:], uint64(len(val)))
+	h.h.Write(h.buf[:])
+	h.h.Write(val)
+}
+
+// Str hashes a labelled string field.
+func (h *Hasher) Str(label, v string) { h.write(label, []byte(v)) }
+
+// Bytes hashes a labelled byte-slice field.
+func (h *Hasher) Bytes(label string, v []byte) { h.write(label, v) }
+
+// Int hashes a labelled signed integer field.
+func (h *Hasher) Int(label string, v int64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	h.write(label, b[:])
+}
+
+// Float hashes a labelled float field by its IEEE-754 bits.
+func (h *Hasher) Float(label string, v float64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	h.write(label, b[:])
+}
+
+// Bool hashes a labelled boolean field.
+func (h *Hasher) Bool(label string, v bool) {
+	b := []byte{0}
+	if v {
+		b[0] = 1
+	}
+	h.write(label, b)
+}
+
+// Key hashes a labelled sub-key, chaining content addresses across stages
+// (a route key includes its place key, a bitgen key its route key).
+func (h *Hasher) Key(label string, k Key) { h.write(label, k[:]) }
+
+// Sum finalises the key.
+func (h *Hasher) Sum() Key {
+	var k Key
+	copy(k[:], h.h.Sum(nil))
+	return k
+}
+
+// Environment variables configuring the process-default cache.
+const (
+	// EnvDir names the on-disk store directory. Setting it enables the
+	// default cache with a disk tier.
+	EnvDir = "JPG_CACHE_DIR"
+	// EnvMode switches the default cache: "1"/"on"/"mem" enables a
+	// memory-only cache, "0"/"off" disables caching even when EnvDir is
+	// set. Unset defers to EnvDir.
+	EnvMode = "JPG_CACHE"
+)
+
+// EnvEnabled reports whether the environment asks for a default cache
+// ($JPG_CACHE_DIR set, or $JPG_CACHE on, and not explicitly switched off).
+func EnvEnabled() bool {
+	switch os.Getenv(EnvMode) {
+	case "0", "off", "false":
+		return false
+	case "1", "on", "true", "mem":
+		return true
+	}
+	return os.Getenv(EnvDir) != ""
+}
+
+var (
+	defaultOnce  sync.Once
+	defaultCache *Cache
+)
+
+// Default returns the process-wide cache configured from the environment,
+// or nil when the environment does not enable one. The CLIs use it as their
+// -cache default; the library never consults it implicitly.
+func Default() *Cache {
+	defaultOnce.Do(func() {
+		if EnvEnabled() {
+			defaultCache = New(Options{Dir: os.Getenv(EnvDir)})
+		}
+	})
+	return defaultCache
+}
+
+// Options bounds a cache.
+type Options struct {
+	// MaxEntries caps the number of resident entries (default 4096).
+	MaxEntries int
+	// MaxBytes caps the approximate resident bytes (default 256 MiB).
+	MaxBytes int64
+	// Dir enables the on-disk store rooted at this directory. Empty
+	// defaults to $JPG_CACHE_DIR; set NoDisk to force memory-only.
+	Dir string
+	// NoDisk forces a memory-only cache regardless of Dir/$JPG_CACHE_DIR.
+	NoDisk bool
+}
+
+// Cache metrics (always on; see internal/obs). cache.hit/miss/evict count
+// lookups and evictions across all stages; per-stage counters are registered
+// as cache.hit.<stage> / cache.miss.<stage> on first use.
+var (
+	mHit       = obs.GetCounter("cache.hit")
+	mMiss      = obs.GetCounter("cache.miss")
+	mEvict     = obs.GetCounter("cache.evict")
+	mBytes     = obs.GetGauge("cache.bytes")
+	mEntries   = obs.GetGauge("cache.entries")
+	mDiskHit   = obs.GetCounter("cache.disk_hit")
+	mDiskWrite = obs.GetCounter("cache.disk_write")
+	mDiskError = obs.GetCounter("cache.disk_error")
+	mWaits     = obs.GetCounter("cache.flight_wait")
+)
+
+type entry struct {
+	key   Key
+	data  []byte // nil for object entries
+	obj   any
+	size  int64
+	elem  *list.Element
+	stage string
+}
+
+// flight is one in-progress computation other goroutines can wait on.
+type flight struct {
+	done chan struct{}
+	data []byte
+	obj  any
+	err  error
+}
+
+// stageCounters tracks one stage's hits and misses for Stats reporting
+// (the obs registry carries the same numbers process-wide).
+type stageCounters struct {
+	hits, misses int64
+}
+
+// Cache is a bounded, concurrency-safe, content-addressed store.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	lru     *list.List // front = most recently used
+	bytes   int64
+	flights map[Key]*flight
+	stages  map[string]*stageCounters
+
+	maxEntries int
+	maxBytes   int64
+	disk       *diskStore
+	evictions  int64
+}
+
+// New returns a cache. See Options for bounds and the disk tier.
+func New(o Options) *Cache {
+	if o.MaxEntries <= 0 {
+		o.MaxEntries = 4096
+	}
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 256 << 20
+	}
+	dir := o.Dir
+	if dir == "" {
+		dir = os.Getenv(EnvDir)
+	}
+	c := &Cache{
+		entries:    map[Key]*entry{},
+		lru:        list.New(),
+		flights:    map[Key]*flight{},
+		stages:     map[string]*stageCounters{},
+		maxEntries: o.MaxEntries,
+		maxBytes:   o.MaxBytes,
+	}
+	if dir != "" && !o.NoDisk {
+		c.disk = &diskStore{root: dir}
+	}
+	return c
+}
+
+// Dir returns the on-disk store root ("" for memory-only or nil caches).
+func (c *Cache) Dir() string {
+	if c == nil || c.disk == nil {
+		return ""
+	}
+	return c.disk.root
+}
+
+// countHit/countMiss update both the per-cache stage counters and the
+// process-wide obs registry. Callers hold c.mu.
+func (c *Cache) countHit(stage string) {
+	c.stage(stage).hits++
+	mHit.Inc()
+	obs.GetCounter("cache.hit." + stage).Inc()
+}
+
+func (c *Cache) countMiss(stage string) {
+	c.stage(stage).misses++
+	mMiss.Inc()
+	obs.GetCounter("cache.miss." + stage).Inc()
+}
+
+func (c *Cache) stage(stage string) *stageCounters {
+	sc := c.stages[stage]
+	if sc == nil {
+		sc = &stageCounters{}
+		c.stages[stage] = sc
+	}
+	return sc
+}
+
+// insertLocked adds an entry and evicts from the LRU tail while over bounds.
+// Callers hold c.mu.
+func (c *Cache) insertLocked(stage string, k Key, data []byte, obj any, size int64) {
+	if old := c.entries[k]; old != nil {
+		c.lru.Remove(old.elem)
+		c.bytes -= old.size
+		delete(c.entries, k)
+	}
+	e := &entry{key: k, data: data, obj: obj, size: size, stage: stage}
+	e.elem = c.lru.PushFront(e)
+	c.entries[k] = e
+	c.bytes += size
+	for c.lru.Len() > 1 && (c.lru.Len() > c.maxEntries || c.bytes > c.maxBytes) {
+		tail := c.lru.Back()
+		ev := tail.Value.(*entry)
+		c.lru.Remove(tail)
+		delete(c.entries, ev.key)
+		c.bytes -= ev.size
+		c.evictions++
+		mEvict.Inc()
+	}
+	mBytes.Set(c.bytes)
+	mEntries.Set(int64(c.lru.Len()))
+}
+
+// Remove drops an entry from memory and disk (used when a consumer finds an
+// entry unusable, e.g. a bind failure on reconstructed artifacts).
+func (c *Cache) Remove(stage string, k Key) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if e := c.entries[k]; e != nil {
+		c.lru.Remove(e.elem)
+		c.bytes -= e.size
+		delete(c.entries, k)
+		mBytes.Set(c.bytes)
+		mEntries.Set(int64(c.lru.Len()))
+	}
+	disk := c.disk
+	c.mu.Unlock()
+	if disk != nil {
+		disk.remove(stage, k)
+	}
+}
+
+// clone returns a defensive copy; cached arrays are never handed out
+// directly so a caller mutating its result cannot poison the store.
+func clone(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// GetOrCompute returns the bytes stored under (stage, key), computing and
+// storing them on a miss. Concurrent callers of the same missing key are
+// single-flighted: exactly one runs compute, the rest wait for its result.
+// hit reports whether this caller's value came from the cache (or another
+// caller's flight) rather than its own compute call. Compute errors are
+// returned to every waiter and nothing is stored. On a nil cache the
+// computation runs directly.
+func (c *Cache) GetOrCompute(stage string, k Key, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
+	if c == nil {
+		v, err := compute()
+		return v, false, err
+	}
+	for {
+		c.mu.Lock()
+		if e := c.entries[k]; e != nil && e.data != nil {
+			c.lru.MoveToFront(e.elem)
+			c.countHit(stage)
+			data := e.data
+			c.mu.Unlock()
+			return clone(data), true, nil
+		}
+		if f := c.flights[k]; f != nil {
+			c.mu.Unlock()
+			mWaits.Inc()
+			<-f.done
+			if f.err != nil {
+				// The computing flight failed; this caller retries (the
+				// failure may have been its sibling's context, and the
+				// entry may have been stored by a later success).
+				return c.retryAfterFailedFlight(stage, k, compute)
+			}
+			c.mu.Lock()
+			c.countHit(stage)
+			c.mu.Unlock()
+			return clone(f.data), true, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[k] = f
+		c.mu.Unlock()
+
+		// Disk tier: a hit fills memory and resolves the flight.
+		if c.disk != nil {
+			if data, ok := c.disk.get(stage, k); ok {
+				c.mu.Lock()
+				c.insertLocked(stage, k, data, nil, int64(len(data)))
+				c.countHit(stage)
+				mDiskHit.Inc()
+				delete(c.flights, k)
+				c.mu.Unlock()
+				f.data = data
+				close(f.done)
+				return clone(data), true, nil
+			}
+		}
+
+		val, err = compute()
+		c.mu.Lock()
+		c.countMiss(stage)
+		if err == nil {
+			stored := clone(val)
+			c.insertLocked(stage, k, stored, nil, int64(len(stored)))
+			f.data = stored
+		}
+		f.err = err
+		delete(c.flights, k)
+		c.mu.Unlock()
+		close(f.done)
+		if err == nil && c.disk != nil {
+			c.disk.put(stage, k, val)
+		}
+		return val, false, err
+	}
+}
+
+// retryAfterFailedFlight re-runs the lookup after waiting on a flight that
+// errored, computing directly if the entry is still absent.
+func (c *Cache) retryAfterFailedFlight(stage string, k Key, compute func() ([]byte, error)) ([]byte, bool, error) {
+	c.mu.Lock()
+	if e := c.entries[k]; e != nil && e.data != nil {
+		c.lru.MoveToFront(e.elem)
+		c.countHit(stage)
+		data := e.data
+		c.mu.Unlock()
+		return clone(data), true, nil
+	}
+	c.countMiss(stage)
+	c.mu.Unlock()
+	v, err := compute()
+	return v, false, err
+}
+
+// GetOrComputeValue is GetOrCompute for live objects that cannot round-trip
+// through bytes (e.g. a generated netlist shared read-only by later stages).
+// Values live in the memory tier only; size is the caller's estimate for the
+// byte bound. The stored object is returned shared, so it must be treated as
+// immutable by every consumer.
+func (c *Cache) GetOrComputeValue(stage string, k Key, compute func() (any, int64, error)) (val any, hit bool, err error) {
+	if c == nil {
+		v, _, err := compute()
+		return v, false, err
+	}
+	c.mu.Lock()
+	if e := c.entries[k]; e != nil && e.obj != nil {
+		c.lru.MoveToFront(e.elem)
+		c.countHit(stage)
+		obj := e.obj
+		c.mu.Unlock()
+		return obj, true, nil
+	}
+	if f := c.flights[k]; f != nil {
+		c.mu.Unlock()
+		mWaits.Inc()
+		<-f.done
+		if f.err != nil {
+			v, _, err := compute()
+			return v, false, err
+		}
+		c.mu.Lock()
+		c.countHit(stage)
+		c.mu.Unlock()
+		return f.obj, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	c.mu.Unlock()
+
+	v, size, err := compute()
+	c.mu.Lock()
+	c.countMiss(stage)
+	if err == nil {
+		c.insertLocked(stage, k, nil, v, size)
+		f.obj = v
+	}
+	f.err = err
+	delete(c.flights, k)
+	c.mu.Unlock()
+	close(f.done)
+	return v, false, err
+}
+
+// StageStats is one stage's hit/miss record.
+type StageStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// HitRate returns hits / lookups (0 when the stage saw no lookups).
+func (s StageStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats is a point-in-time summary of a cache, for jpgbench's perf record.
+type Stats struct {
+	Entries   int                   `json:"entries"`
+	Bytes     int64                 `json:"bytes"`
+	Evictions int64                 `json:"evictions"`
+	Stages    map[string]StageStats `json:"stages,omitempty"`
+}
+
+// Stats snapshots the cache (nil caches report zeroes).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{Entries: c.lru.Len(), Bytes: c.bytes, Evictions: c.evictions}
+	if len(c.stages) > 0 {
+		s.Stages = make(map[string]StageStats, len(c.stages))
+		names := make([]string, 0, len(c.stages))
+		for n := range c.stages {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			sc := c.stages[n]
+			s.Stages[n] = StageStats{Hits: sc.hits, Misses: sc.misses}
+		}
+	}
+	return s
+}

@@ -1,0 +1,25 @@
+package cache
+
+import "context"
+
+type ctxKey struct{}
+
+// With returns a context carrying the cache. The flow layer consults only
+// the context (never a process global), so library callers opt in per run
+// and existing timing-sensitive experiments are unaffected unless a cache
+// is attached explicitly.
+func With(ctx context.Context, c *Cache) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromContext returns the cache attached by With, or nil.
+func FromContext(ctx context.Context) *Cache {
+	if ctx == nil {
+		return nil
+	}
+	c, _ := ctx.Value(ctxKey{}).(*Cache)
+	return c
+}

@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+)
+
+// diskStore is the optional persistent tier. Entries live at
+// <root>/<stage>/<hex[:2]>/<hex>, each a self-validating container:
+//
+//	magic "JPGCACHE1\n" | uint64 big-endian payload length | payload | sha256(payload)
+//
+// Writes go to a temp file in the final directory and are renamed into
+// place, so readers never observe a partial entry. Reads validate magic,
+// length and checksum; any mismatch (truncation, corruption, a future
+// format) degrades to a miss and best-effort removes the bad file. The
+// magic's trailing "1" is the container version: bump it when the framing
+// changes and old entries simply stop matching.
+type diskStore struct {
+	root string
+}
+
+var diskMagic = []byte("JPGCACHE1\n")
+
+func (d *diskStore) path(stage string, k Key) string {
+	hexk := k.String()
+	return filepath.Join(d.root, stage, hexk[:2], hexk)
+}
+
+func (d *diskStore) get(stage string, k Key) ([]byte, bool) {
+	raw, err := os.ReadFile(d.path(stage, k))
+	if err != nil {
+		return nil, false
+	}
+	payload, ok := decodeContainer(raw)
+	if !ok {
+		mDiskError.Inc()
+		os.Remove(d.path(stage, k))
+		return nil, false
+	}
+	return payload, true
+}
+
+func (d *diskStore) put(stage string, k Key, payload []byte) {
+	dir := filepath.Dir(d.path(stage, k))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		mDiskError.Inc()
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		mDiskError.Inc()
+		return
+	}
+	_, werr := tmp.Write(encodeContainer(payload))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		mDiskError.Inc()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), d.path(stage, k)); err != nil {
+		mDiskError.Inc()
+		os.Remove(tmp.Name())
+		return
+	}
+	mDiskWrite.Inc()
+}
+
+func (d *diskStore) remove(stage string, k Key) {
+	os.Remove(d.path(stage, k))
+}
+
+func encodeContainer(payload []byte) []byte {
+	out := make([]byte, 0, len(diskMagic)+8+len(payload)+sha256.Size)
+	out = append(out, diskMagic...)
+	var lenb [8]byte
+	binary.BigEndian.PutUint64(lenb[:], uint64(len(payload)))
+	out = append(out, lenb[:]...)
+	out = append(out, payload...)
+	sum := sha256.Sum256(payload)
+	return append(out, sum[:]...)
+}
+
+func decodeContainer(raw []byte) ([]byte, bool) {
+	if len(raw) < len(diskMagic)+8+sha256.Size {
+		return nil, false
+	}
+	if !bytes.Equal(raw[:len(diskMagic)], diskMagic) {
+		return nil, false
+	}
+	raw = raw[len(diskMagic):]
+	n := binary.BigEndian.Uint64(raw[:8])
+	raw = raw[8:]
+	if uint64(len(raw)) != n+sha256.Size {
+		return nil, false
+	}
+	payload, sum := raw[:n], raw[n:]
+	want := sha256.Sum256(payload)
+	if !bytes.Equal(sum, want[:]) {
+		return nil, false
+	}
+	return payload, true
+}

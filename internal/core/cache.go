@@ -1,0 +1,28 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Cached partial-generation results are stored as gob-encoded Result
+// records. The payload is only ever decoded back into a Result (callers
+// compare the decoded bitstream bytes, never the container), so gob's
+// encoding details are not part of the determinism contract.
+
+func encodeResult(r *Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("core: encode result: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeResult(data []byte) (*Result, error) {
+	var r Result
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("core: decode result: %w", err)
+	}
+	return &r, nil
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitstream"
+	"repro/internal/cache"
 	"repro/internal/device"
 	"repro/internal/frames"
 	"repro/internal/jbits"
@@ -33,6 +34,17 @@ type Project struct {
 	Base *frames.Memory
 	// Modules lists the sub-module variants added to the project.
 	Modules []*Module
+	// Cache optionally memoizes partial-bitstream generation: repeated
+	// GeneratePartial calls for the same base configuration, module content
+	// and options return the stored result. Write-backs advance the base's
+	// content fingerprint, so a memoized partial can never be served
+	// against a configuration it was not diffed from.
+	Cache *cache.Cache
+
+	// baseFP is the content fingerprint of Base. Empty disables
+	// memoization (set after UpdateBRAM write-backs, whose arbitrary
+	// mutation function cannot be fingerprinted).
+	baseFP string
 }
 
 // NewProject initialises a project from a complete base bitstream; the part
@@ -52,7 +64,10 @@ func NewProject(baseBitstream []byte) (*Project, error) {
 		return nil, fmt.Errorf("core: base bitstream wrote %d of %d frames; a complete bitstream is required",
 			stats.FramesWritten, part.TotalFrames())
 	}
-	return &Project{Part: part, Base: mem}, nil
+	h := cache.NewHasher("core.base/v1")
+	h.Str("part", part.Name)
+	h.Bytes("bitstream", baseBitstream)
+	return &Project{Part: part, Base: mem, baseFP: h.Sum().String()}, nil
 }
 
 // NewProjectForPart initialises a project from an explicit part and
@@ -62,7 +77,7 @@ func NewProjectForPart(part *device.Part, base *frames.Memory) (*Project, error)
 	if base.Part != part {
 		return nil, fmt.Errorf("core: memory is for %s, not %s", base.Part.Name, part.Name)
 	}
-	return &Project{Part: part, Base: base.Clone()}, nil
+	return &Project{Part: part, Base: base.Clone(), baseFP: base.Fingerprint()}, nil
 }
 
 // AddModule parses a sub-module variant's XDL and UCF texts (the outputs of
@@ -88,6 +103,12 @@ func (p *Project) AddModule(name, xdlText, ucfText string) (*Module, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: module %s: %w", name, err)
 	}
+	// The module's cache identity is its source texts: two modules loaded
+	// from byte-identical XDL/UCF (under any name) share partial results.
+	mh := cache.NewHasher("core.module/v1")
+	mh.Str("xdl", xdlText)
+	mh.Str("ucf", ucfText)
+	m.fp = mh.Sum().String()
 	p.Modules = append(p.Modules, m)
 	mModulesAdded.Inc()
 	return m, nil
@@ -134,8 +155,77 @@ var (
 )
 
 // GeneratePartial replays the module onto (a copy of) the base
-// configuration and emits the partial bitstream for its columns.
+// configuration and emits the partial bitstream for its columns. With a
+// Cache attached, non-write-back generations are memoized on the (base
+// configuration, module content, options) triple.
 func (p *Project) GeneratePartial(m *Module, opts GenerateOptions) (*Result, error) {
+	res, err := p.generatePartial(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.WriteBack {
+		p.advanceBaseFP(m.fp)
+	}
+	mPartials.Inc()
+	mFramesCarried.Add(int64(len(res.FARs)))
+	mFramesChanged.Add(int64(res.FramesChanged))
+	mPartialBytes.Add(int64(len(res.Bitstream)))
+	mPartialBytesHit.Observe(int64(len(res.Bitstream)))
+	mRegionFraction.Observe(int64(100 * len(res.FARs) / p.Part.TotalFrames()))
+	return res, nil
+}
+
+// generatePartial dispatches between the memoized and direct paths. The
+// cache applies only when the base and module fingerprints are both known
+// and the generation does not write back (a write-back mutates project
+// state, which a cached result could not replay).
+func (p *Project) generatePartial(m *Module, opts GenerateOptions) (*Result, error) {
+	c := p.Cache
+	if c == nil || opts.WriteBack || p.baseFP == "" || m.fp == "" {
+		return p.computePartial(m, opts)
+	}
+	h := cache.NewHasher("core.partial/v1")
+	h.Str("part", p.Part.Name)
+	h.Str("base", p.baseFP)
+	h.Str("module", m.fp)
+	h.Bool("strict", opts.Strict)
+	h.Bool("compress", opts.Compress)
+	k := h.Sum()
+	data, _, err := c.GetOrCompute("partial", k, func() ([]byte, error) {
+		res, err := p.computePartial(m, opts)
+		if err != nil {
+			return nil, err
+		}
+		return encodeResult(res)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := decodeResult(data)
+	if err != nil {
+		// Undecodable entry (stale encoding, collision): drop it and
+		// generate directly.
+		c.Remove("partial", k)
+		return p.computePartial(m, opts)
+	}
+	return res, nil
+}
+
+// advanceBaseFP folds a write-back into the base fingerprint so memoized
+// partials are keyed on the exact post-write-back configuration.
+func (p *Project) advanceBaseFP(moduleFP string) {
+	if p.baseFP == "" || moduleFP == "" {
+		p.baseFP = ""
+		return
+	}
+	h := cache.NewHasher("core.writeback/v1")
+	h.Str("base", p.baseFP)
+	h.Str("module", moduleFP)
+	p.baseFP = h.Sum().String()
+}
+
+// computePartial is the direct generation path.
+func (p *Project) computePartial(m *Module, opts GenerateOptions) (*Result, error) {
 	region, err := m.writeRegion(p.Part, opts.Strict)
 	if err != nil {
 		return nil, err
@@ -171,12 +261,6 @@ func (p *Project) GeneratePartial(m *Module, opts GenerateOptions) (*Result, err
 	if opts.WriteBack {
 		p.Base = work
 	}
-	mPartials.Inc()
-	mFramesCarried.Add(int64(len(fars)))
-	mFramesChanged.Add(int64(changed))
-	mPartialBytes.Add(int64(len(bs)))
-	mPartialBytesHit.Observe(int64(len(bs)))
-	mRegionFraction.Observe(int64(100 * len(fars) / p.Part.TotalFrames()))
 	return &Result{Bitstream: bs, Region: region, FARs: fars, FramesChanged: changed}, nil
 }
 
@@ -312,6 +396,9 @@ func (p *Project) UpdateBRAM(opts GenerateOptions, fn func(jb *jbits.JBits) erro
 	}
 	if opts.WriteBack {
 		p.Base = work
+		// fn is arbitrary code; the resulting configuration has no
+		// derivable fingerprint, so memoization stops here.
+		p.baseFP = ""
 	}
 	return &Result{Bitstream: bs, FARs: fars, FramesChanged: changed}, nil
 }

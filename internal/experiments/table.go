@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/parallel"
 )
 
@@ -109,14 +110,22 @@ type Config struct {
 	// attached by jpgbench -trace); nil means context.Background().
 	// Tracing never changes results — only what gets recorded.
 	Ctx context.Context
+	// Cache optionally memoizes CAD stage results (see internal/cache):
+	// the flow consults it via the run context, core projects directly.
+	// Caching never changes results — byte-identical cold, warm or off —
+	// only wall-clock, so experiments whose verdicts compare *measured
+	// times* (E4/E8/E9) should be given a cold cache or none at all.
+	Cache *cache.Cache
 }
 
-// ctx resolves the run context.
+// ctx resolves the run context, attaching the config's cache so the flow
+// layer sees it.
 func (c Config) ctx() context.Context {
-	if c.Ctx != nil {
-		return c.Ctx
+	ctx := c.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return context.Background()
+	return cache.With(ctx, c.Cache)
 }
 
 // pool renders the config's worker bound as pool options for

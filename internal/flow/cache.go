@@ -1,0 +1,304 @@
+package flow
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitgen"
+	"repro/internal/cache"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/frames"
+	"repro/internal/ncd"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/phys"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/ucf"
+	"repro/internal/xdl"
+)
+
+// Content-addressed stage memoization. Each stage's key is a hash of
+// everything its output depends on, and keys chain: a route key contains its
+// place key, a bitgen key its route key, so invalidation is automatic — any
+// changed input changes every downstream key. The cache is consulted only
+// when one is attached to the context (cache.With); with no cache the flow
+// runs the exact uncached stage sequence, so results are byte-identical with
+// caching on, off, cold or warm.
+//
+// Stage values are the flow's own serialised artifacts: placements and
+// routed designs as NCD bytes (rehydrated onto the caller's live netlist
+// with phys.Bind), bitstreams and XDL as raw bytes. Generated netlists are
+// memoized as shared live objects (memory tier only) — the placer and
+// router treat netlists as read-only, so concurrent runs may share one.
+
+// Fingerprint returns a stable content hash of the options, for use as a
+// CAD cache key component. Effort is normalised the way the placer
+// normalises it (<= 0 means 1.0), and the guide map is hashed in sorted
+// order since its iteration order is irrelevant to placement.
+func (o Options) Fingerprint() string {
+	h := cache.NewHasher("flow.options/v1")
+	h.Int("seed", o.Seed)
+	effort := o.Effort
+	if effort <= 0 {
+		effort = 1.0
+	}
+	h.Float("effort", effort)
+	h.Int("guide", int64(len(o.Guide)))
+	names := make([]string, 0, len(o.Guide))
+	for name := range o.Guide {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h.Str("guide."+name, o.Guide[name].String())
+	}
+	return h.Sum().String()
+}
+
+// PlaceKey is the cache key of the placement stage: part + netlist content
+// + constraints + options. Exported for the key-stability golden test.
+func PlaceKey(p *device.Part, nl *netlist.Design, cons *ucf.Constraints, opts Options) cache.Key {
+	h := cache.NewHasher("flow.place/v1")
+	h.Str("part", p.Name)
+	h.Str("netlist", nl.Fingerprint())
+	h.Str("ucf", cons.Fingerprint())
+	h.Str("opts", opts.Fingerprint())
+	return h.Sum()
+}
+
+// RouteKey chains the placement key with the router's region constraints
+// (regionFP canonically describes the caller's RegionForNet function).
+func RouteKey(placeKey cache.Key, regionFP string) cache.Key {
+	h := cache.NewHasher("flow.route/v1")
+	h.Key("place", placeKey)
+	h.Str("regions", regionFP)
+	return h.Sum()
+}
+
+// BitgenKey chains the route key; the bitstream depends on nothing else.
+func BitgenKey(routeKey cache.Key) cache.Key {
+	h := cache.NewHasher("flow.bitgen/v1")
+	h.Key("route", routeKey)
+	return h.Sum()
+}
+
+// XDLKey chains the route key for the XDL emission stage.
+func XDLKey(routeKey cache.Key) cache.Key {
+	h := cache.NewHasher("flow.xdl/v1")
+	h.Key("route", routeKey)
+	return h.Sum()
+}
+
+// regionsFingerprint canonically describes a floorplan's region map.
+func regionsFingerprint(regions map[string]frames.Region) string {
+	prefixes := make([]string, 0, len(regions))
+	for prefix := range regions {
+		prefixes = append(prefixes, prefix)
+	}
+	sort.Strings(prefixes)
+	h := cache.NewHasher("flow.regions/v1")
+	for _, prefix := range prefixes {
+		h.Str(prefix, regions[prefix].String())
+	}
+	return "map:" + h.Sum().String()
+}
+
+func hitStr(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// mapBaseDesign memoizes designs.BaseDesign when a cache is attached. The
+// generator list is keyed on %#v, which spells out every exported parameter
+// field — Generator.Name() may omit some (e.g. a seed) and must not be
+// trusted as an identity.
+func mapBaseDesign(ctx context.Context, name string, insts []designs.Instance) (*netlist.Design, error) {
+	c := cache.FromContext(ctx)
+	if c == nil {
+		return designs.BaseDesign(name, insts)
+	}
+	h := cache.NewHasher("flow.map/v1")
+	h.Str("fn", "base")
+	h.Str("name", name)
+	h.Int("insts", int64(len(insts)))
+	for _, inst := range insts {
+		h.Str("prefix", inst.Prefix)
+		h.Str("gen", fmt.Sprintf("%#v", inst.Gen))
+	}
+	v, _, err := c.GetOrComputeValue("map", h.Sum(), func() (any, int64, error) {
+		nl, err := designs.BaseDesign(name, insts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return nl, netlistSizeEstimate(nl), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*netlist.Design), nil
+}
+
+// mapStandalone memoizes designs.Standalone when a cache is attached.
+func mapStandalone(ctx context.Context, gen designs.Generator, designName, prefix string) (*netlist.Design, error) {
+	c := cache.FromContext(ctx)
+	if c == nil {
+		return designs.Standalone(gen, designName, prefix)
+	}
+	h := cache.NewHasher("flow.map/v1")
+	h.Str("fn", "standalone")
+	h.Str("name", designName)
+	h.Str("prefix", prefix)
+	h.Str("gen", fmt.Sprintf("%#v", gen))
+	v, _, err := c.GetOrComputeValue("map", h.Sum(), func() (any, int64, error) {
+		nl, err := designs.Standalone(gen, designName, prefix)
+		if err != nil {
+			return nil, 0, err
+		}
+		return nl, netlistSizeEstimate(nl), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*netlist.Design), nil
+}
+
+// netlistSizeEstimate approximates a live netlist's memory footprint for the
+// cache's byte bound.
+func netlistSizeEstimate(nl *netlist.Design) int64 {
+	return int64(len(nl.Cells))*256 + int64(len(nl.Nets))*128 + int64(len(nl.Ports))*64 + 1024
+}
+
+// runCached is run with a cache attached: the same stage sequence, with
+// each stage's result fetched by content address when available. Cached
+// placements and routings rehydrate onto the live netlist via phys.Bind; an
+// entry that fails to bind (a stale or colliding record) is dropped and the
+// stages recompute, so a damaged cache can cost time but never correctness.
+func runCached(ctx context.Context, c *cache.Cache, p *device.Part, nl *netlist.Design, cons *ucf.Constraints,
+	rfn func(*netlist.Net) *frames.Region, regionFP string, opts Options, synthTime time.Duration) (Artifacts, error) {
+
+	a := Artifacts{Part: p, Netlist: nl}
+	a.Times.Synthesis = synthTime
+	mMapNS.Observe(synthTime.Nanoseconds())
+
+	kPlace := PlaceKey(p, nl, cons, opts)
+	kRoute := RouteKey(kPlace, regionFP)
+
+	// pd is set when this goroutine ran the stages itself; on a hit (or
+	// after waiting out another worker's in-flight computation) it stays nil
+	// and the cached NCD bytes are bound onto the netlist below.
+	var pd *phys.Design
+	placeOpts := place.Options{Seed: opts.Seed, Constraints: cons, Effort: opts.Effort, Guide: opts.Guide}
+
+	routeStart := time.Now()
+	ncdBytes, routeHit, err := c.GetOrCompute("route", kRoute, func() ([]byte, error) {
+		t0 := time.Now()
+		_, sp := obs.Start(ctx, "place")
+		placedNCD, placeHit, err := c.GetOrCompute("place", kPlace, func() ([]byte, error) {
+			d, err := place.Place(p, nl, placeOpts)
+			if err != nil {
+				return nil, err
+			}
+			pd = d
+			return ncd.Marshal(d)
+		})
+		if err == nil && pd == nil {
+			// The placement came from the cache; rebind it. A bind failure
+			// drops the entry and places from scratch.
+			var bindErr error
+			pd, bindErr = bindNCD(placedNCD, p, nl)
+			if bindErr != nil {
+				c.Remove("place", kPlace)
+				pd, err = place.Place(p, nl, placeOpts)
+				placeHit = false
+			}
+		}
+		sp.SetStr("cache", hitStr(placeHit))
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		a.Times.Place = time.Since(t0)
+		mPlaceNS.Observe(a.Times.Place.Nanoseconds())
+
+		t0 = time.Now()
+		_, rsp := obs.Start(ctx, "route")
+		err = route.Route(pd, route.Options{RegionForNet: rfn})
+		rsp.SetStr("cache", "miss")
+		rsp.End()
+		if err != nil {
+			return nil, err
+		}
+		a.Times.Route = time.Since(t0)
+		return ncd.Marshal(pd)
+	})
+	if err != nil {
+		return a, err
+	}
+	if pd == nil {
+		// Warm hit: rehydrate the routed design from its NCD bytes.
+		pd, err = bindNCD(ncdBytes, p, nl)
+		if err != nil {
+			// Unusable entries: drop both and run the stages for real.
+			c.Remove("route", kRoute)
+			c.Remove("place", kPlace)
+			return runStages(ctx, p, nl, cons, rfn, opts, synthTime)
+		}
+		a.Times.Route = time.Since(routeStart)
+		_, sp := obs.Start(ctx, "place")
+		sp.SetStr("cache", hitStr(true))
+		sp.End()
+		_, sp = obs.Start(ctx, "route")
+		sp.SetStr("cache", hitStr(routeHit))
+		sp.End()
+		mPlaceNS.Observe(a.Times.Place.Nanoseconds())
+		mRouteNS.Observe(a.Times.Route.Nanoseconds())
+	} else {
+		mRouteNS.Observe(a.Times.Route.Nanoseconds())
+	}
+	a.Phys = pd
+
+	t0 := time.Now()
+	_, sp := obs.Start(ctx, "bitgen")
+	bs, bgHit, err := c.GetOrCompute("bitgen", BitgenKey(kRoute), func() ([]byte, error) {
+		return bitgen.FullBitstream(pd)
+	})
+	sp.SetStr("cache", hitStr(bgHit))
+	sp.End()
+	if err != nil {
+		return a, err
+	}
+	a.Times.Bitgen = time.Since(t0)
+	a.Bitstream = bs
+	mBitgenNS.Observe(a.Times.Bitgen.Nanoseconds())
+
+	_, sp = obs.Start(ctx, "emit")
+	defer sp.End()
+	xdlBytes, _, err := c.GetOrCompute("xdl", XDLKey(kRoute), func() ([]byte, error) {
+		s, err := xdl.Emit(pd)
+		return []byte(s), err
+	})
+	if err != nil {
+		return a, err
+	}
+	a.XDL = string(xdlBytes)
+	a.NCD = ncdBytes
+	if cons != nil {
+		a.UCF = cons.Emit()
+	}
+	return a, nil
+}
+
+// bindNCD rehydrates serialised NCD bytes onto a live netlist.
+func bindNCD(data []byte, p *device.Part, nl *netlist.Design) (*phys.Design, error) {
+	f, err := ncd.UnmarshalFlat(data)
+	if err != nil {
+		return nil, err
+	}
+	return phys.Bind(f, p, nl)
+}

@@ -1,0 +1,228 @@
+package flow
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/frames"
+	"repro/internal/parallel"
+	"repro/internal/phys"
+	"repro/internal/ucf"
+)
+
+func TestOptionsFingerprint(t *testing.T) {
+	base := (Options{Seed: 7}).Fingerprint()
+	if (Options{Seed: 7}).Fingerprint() != base {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if (Options{Seed: 8}).Fingerprint() == base {
+		t.Fatal("seed not covered")
+	}
+	// Effort <= 0 normalises to 1.0, exactly as the placer treats it.
+	if (Options{Seed: 7, Effort: 1.0}).Fingerprint() != base {
+		t.Fatal("default effort and explicit 1.0 must share a key")
+	}
+	if (Options{Seed: 7, Effort: 0.5}).Fingerprint() == base {
+		t.Fatal("effort not covered")
+	}
+}
+
+func TestOptionsFingerprintGuideOrderIrrelevant(t *testing.T) {
+	p := device.MustByName("XCV50")
+	base, err := BuildBase(context.Background(), p, twoInstances(), Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := BuildVariant(context.Background(), base, "u1/", designs.LFSR{Bits: 6}, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guide := GuideFrom(v)
+	if len(guide) < 2 {
+		t.Fatalf("guide too small to test ordering: %d entries", len(guide))
+	}
+	o1 := Options{Seed: 1, Guide: guide}
+	// A map rebuilt in a different insertion order must fingerprint the same.
+	g2 := make(map[string]phys.Site, len(guide))
+	keys := make([]string, 0, len(guide))
+	for k := range guide {
+		keys = append(keys, k)
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		g2[keys[i]] = guide[keys[i]]
+	}
+	o2 := Options{Seed: 1, Guide: g2}
+	if o1.Fingerprint() != o2.Fingerprint() {
+		t.Fatal("guide map order changed the fingerprint")
+	}
+	if (Options{Seed: 1}).Fingerprint() == o1.Fingerprint() {
+		t.Fatal("guide not covered")
+	}
+}
+
+// TestStageKeysGolden pins the cache keys of every flow stage for one fixed
+// design. If this test fails, the key derivation changed: bump the affected
+// domain version (flow.place/v1, ...) so stale disk entries cannot be
+// misread, then refresh these constants.
+func TestStageKeysGolden(t *testing.T) {
+	p := device.MustByName("XCV50")
+	nl, err := designs.Standalone(designs.Counter{Bits: 4}, "golden", "u1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := ucf.New()
+	cons.AddGroup("u1/*", "AG", frames.Region{R1: 0, C1: 0, R2: p.Rows - 1, C2: 7})
+	opts := Options{Seed: 42}
+
+	kPlace := PlaceKey(p, nl, cons, opts)
+	kRoute := RouteKey(kPlace, "none")
+	kBitgen := BitgenKey(kRoute)
+	kXDL := XDLKey(kRoute)
+
+	want := map[string]string{
+		"place":  "db211fcb54fd827a5e5c1090a6c6f6fdde2e1353bae844b7722a2d98b684c301",
+		"route":  "47ea3a4e239ef02b1b932f20baedfdb628af1c3e83518036a020608e771e414e",
+		"bitgen": "b2352f87609392fad1bb08bedb9ad79be078388ced7874e8bc09772e5ae32792",
+		"xdl":    "490ff815aee20952bed8072a5a83efaae88da40ddcd2aec9dacad1b66bd58890",
+	}
+	got := map[string]string{
+		"place":  kPlace.String(),
+		"route":  kRoute.String(),
+		"bitgen": kBitgen.String(),
+		"xdl":    kXDL.String(),
+	}
+	for stage, w := range want {
+		if got[stage] != w {
+			t.Errorf("%s key = %q, want %q", stage, got[stage], w)
+		}
+	}
+}
+
+// TestCachedBuildByteIdentical is the cache's correctness contract: the same
+// build run with no cache, a cold cache, and a warm cache yields
+// byte-identical artifacts, and the warm run hits every stage.
+func TestCachedBuildByteIdentical(t *testing.T) {
+	p := device.MustByName("XCV50")
+	opts := Options{Seed: 21}
+
+	plain, err := BuildFull(context.Background(), p, twoInstances(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := cache.New(cache.Options{NoDisk: true})
+	ctx := cache.With(context.Background(), c)
+	cold, err := BuildFull(ctx, p, twoInstances(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := BuildFull(ctx, p, twoInstances(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, run := range []struct {
+		name string
+		a    *Artifacts
+	}{{"cold", cold}, {"warm", warm}} {
+		if !bytes.Equal(run.a.Bitstream, plain.Bitstream) {
+			t.Errorf("%s cache changed the bitstream", run.name)
+		}
+		if run.a.XDL != plain.XDL {
+			t.Errorf("%s cache changed the XDL", run.name)
+		}
+		if !bytes.Equal(run.a.NCD, plain.NCD) {
+			t.Errorf("%s cache changed the NCD", run.name)
+		}
+		if run.a.UCF != plain.UCF {
+			t.Errorf("%s cache changed the UCF", run.name)
+		}
+	}
+
+	st := c.Stats()
+	for _, stage := range []string{"route", "bitgen", "xdl"} {
+		s := st.Stages[stage]
+		if s.Hits == 0 {
+			t.Errorf("stage %q never hit on the warm run (stats %+v)", stage, st)
+		}
+	}
+	// The place stage is keyed inside the route compute; a warm route hit
+	// short-circuits it, so it sees exactly the cold run's single miss.
+	if s := st.Stages["place"]; s.Misses != 1 {
+		t.Errorf("place stage: %+v, want exactly 1 miss", s)
+	}
+}
+
+// TestCachedVariantsMatchSerialAcrossWorkers shares one cache between a
+// serial uncached run and pooled cached runs at several worker counts —
+// artifacts must be byte-identical throughout.
+func TestCachedVariantsMatchSerialAcrossWorkers(t *testing.T) {
+	p := device.MustByName("XCV50")
+	base, err := BuildBase(context.Background(), p, twoInstances(), Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []VariantSpec{
+		{Prefix: "u1/", Gen: designs.LFSR{Bits: 6, Taps: []int{5, 0}}, Opts: Options{Seed: 10}},
+		{Prefix: "u1/", Gen: designs.Counter{Bits: 6}, Opts: Options{Seed: 11}},
+		{Prefix: "u2/", Gen: designs.SBoxBank{N: 8, Seed: 7}, Opts: Options{Seed: 12}},
+		// Duplicate spec: exercises same-key reuse inside one pooled run.
+		{Prefix: "u2/", Gen: designs.SBoxBank{N: 8, Seed: 7}, Opts: Options{Seed: 12}},
+	}
+	serial := make([]*Artifacts, len(specs))
+	for i, s := range specs {
+		a, err := BuildVariant(context.Background(), base, s.Prefix, s.Gen, s.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = a
+	}
+	c := cache.New(cache.Options{NoDisk: true})
+	ctx := cache.With(context.Background(), c)
+	for _, workers := range []int{1, 2, 4} {
+		got, err := BuildVariants(ctx, base, specs, parallel.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range specs {
+			if !bytes.Equal(serial[i].Bitstream, got[i].Bitstream) {
+				t.Fatalf("workers=%d spec %d: bitstream differs from uncached serial build", workers, i)
+			}
+			if serial[i].XDL != got[i].XDL {
+				t.Fatalf("workers=%d spec %d: XDL differs from uncached serial build", workers, i)
+			}
+		}
+	}
+	if st := c.Stats(); st.Stages["route"].Hits == 0 {
+		t.Errorf("shared cache never hit across pooled runs: %+v", st)
+	}
+}
+
+// TestCacheDistinguishesBuilds guards against over-broad keys: different
+// seeds and different generators must never share artifacts.
+func TestCacheDistinguishesBuilds(t *testing.T) {
+	p := device.MustByName("XCV50")
+	ctx := cache.With(context.Background(), cache.New(cache.Options{NoDisk: true}))
+	a1, err := BuildFull(ctx, p, twoInstances(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := BuildFull(ctx, p, twoInstances(), Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a1.Bitstream, a2.Bitstream) {
+		t.Fatal("different seeds produced one cached bitstream")
+	}
+	uncached, err := BuildFull(context.Background(), p, twoInstances(), Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a2.Bitstream, uncached.Bitstream) {
+		t.Fatal("cached seed-2 build differs from uncached seed-2 build")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/bitgen"
+	"repro/internal/cache"
 	"repro/internal/designs"
 	"repro/internal/device"
 	"repro/internal/frames"
@@ -246,7 +247,18 @@ func regionForNet(regions map[string]frames.Region) func(*netlist.Net) *frames.R
 }
 
 // run executes place -> route -> bitgen with timing and file emission.
+// regionFP canonically describes rfn's region constraints for the stage
+// cache; it is unused when no cache is attached to the context.
 func run(ctx context.Context, p *device.Part, nl *netlist.Design, cons *ucf.Constraints,
+	rfn func(*netlist.Net) *frames.Region, regionFP string, opts Options, synthTime time.Duration) (Artifacts, error) {
+	if c := cache.FromContext(ctx); c != nil {
+		return runCached(ctx, c, p, nl, cons, rfn, regionFP, opts, synthTime)
+	}
+	return runStages(ctx, p, nl, cons, rfn, opts, synthTime)
+}
+
+// runStages is the uncached stage sequence.
+func runStages(ctx context.Context, p *device.Part, nl *netlist.Design, cons *ucf.Constraints,
 	rfn func(*netlist.Net) *frames.Region, opts Options, synthTime time.Duration) (Artifacts, error) {
 
 	a := Artifacts{Part: p, Netlist: nl}
@@ -319,14 +331,14 @@ func BuildBaseWith(ctx context.Context, p *device.Part, insts []designs.Instance
 	mBaseBuilds.Inc()
 	t0 := time.Now()
 	_, ms := obs.Start(ctx, "map")
-	nl, err := designs.BaseDesign("base", insts)
+	nl, err := mapBaseDesign(ctx, "base", insts)
 	ms.End()
 	if err != nil {
 		return nil, err
 	}
 	synthTime := time.Since(t0)
 
-	a, err := run(ctx, p, nl, cons, regionForNet(regions), opts, synthTime)
+	a, err := run(ctx, p, nl, cons, regionForNet(regions), regionsFingerprint(regions), opts, synthTime)
 	if err != nil {
 		return nil, fmt.Errorf("flow: base build: %w", err)
 	}
@@ -404,7 +416,7 @@ func buildVariant(ctx context.Context, part *device.Part, rg frames.Region, base
 
 	t0 := time.Now()
 	_, ms := obs.Start(ctx, "map")
-	nl, err := designs.Standalone(gen, instBase+"_"+gen.Name(), prefix)
+	nl, err := mapStandalone(ctx, gen, instBase+"_"+gen.Name(), prefix)
 	ms.End()
 	if err != nil {
 		return nil, err
@@ -442,7 +454,7 @@ func buildVariant(ctx context.Context, part *device.Part, rg frames.Region, base
 		r := rg
 		return &r
 	}
-	a, err := run(ctx, part, nl, cons, rfn, opts, synthTime)
+	a, err := run(ctx, part, nl, cons, rfn, "all:"+rg.String(), opts, synthTime)
 	if err != nil {
 		return nil, fmt.Errorf("flow: variant %s%s: %w", prefix, gen.Name(), err)
 	}
@@ -469,9 +481,13 @@ func Implement(ctx context.Context, p *device.Part, nl *netlist.Design, cons *uc
 			return nil
 		}
 	}
+	regionFP := "none"
+	if rfn != nil {
+		regionFP = "groups" // rfn is a pure function of cons, already keyed
+	}
 	ctx, sp := obs.Start(ctx, "flow.implement")
 	defer sp.End()
-	a, err := run(ctx, p, nl, cons, rfn, opts, 0)
+	a, err := run(ctx, p, nl, cons, rfn, regionFP, opts, 0)
 	if err != nil {
 		return nil, fmt.Errorf("flow: implement: %w", err)
 	}
@@ -486,13 +502,13 @@ func BuildFull(ctx context.Context, p *device.Part, insts []designs.Instance, op
 	mFullBuilds.Inc()
 	t0 := time.Now()
 	_, ms := obs.Start(ctx, "map")
-	nl, err := designs.BaseDesign("full", insts)
+	nl, err := mapBaseDesign(ctx, "full", insts)
 	ms.End()
 	if err != nil {
 		return nil, err
 	}
 	synthTime := time.Since(t0)
-	a, err := run(ctx, p, nl, nil, nil, opts, synthTime)
+	a, err := run(ctx, p, nl, nil, nil, "none", opts, synthTime)
 	if err != nil {
 		return nil, fmt.Errorf("flow: full build: %w", err)
 	}

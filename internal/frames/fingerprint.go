@@ -1,0 +1,21 @@
+package frames
+
+import (
+	"encoding/binary"
+
+	"repro/internal/cache"
+)
+
+// Fingerprint returns a stable content hash of the configuration memory,
+// for use as a CAD cache key component (e.g. keying partial-bitstream
+// generation on the exact base configuration it diffs against).
+func (m *Memory) Fingerprint() string {
+	h := cache.NewHasher("frames.memory/v1")
+	h.Str("part", m.Part.Name)
+	buf := make([]byte, 4*len(m.data))
+	for i, w := range m.data {
+		binary.BigEndian.PutUint32(buf[i*4:], w)
+	}
+	h.Bytes("data", buf)
+	return h.Sum().String()
+}

@@ -100,8 +100,9 @@ type Export struct {
 }
 
 // ExportVersion is the schema version of Export and of the perf records the
-// CLIs emit.
-const ExportVersion = 2
+// CLIs emit. Version 3 added build-cache statistics (nullable speedups,
+// warm-rerun timings and per-stage hit rates) to the jpgbench record.
+const ExportVersion = 3
 
 // Export snapshots the collector's spans together with the registry's
 // metrics.

@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -287,7 +288,7 @@ func TestExportAndRender(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"version":2`, `"a.count":2`, `"b.depth":-3`, `"name":"stage"`} {
+	for _, want := range []string{fmt.Sprintf(`"version":%d`, ExportVersion), `"a.count":2`, `"b.depth":-3`, `"name":"stage"`} {
 		if !strings.Contains(string(buf), want) {
 			t.Errorf("export JSON missing %s:\n%s", want, buf)
 		}

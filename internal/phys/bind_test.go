@@ -1,0 +1,94 @@
+package phys
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/netlist"
+)
+
+// boundDesign builds a small legally-placed design for Bind round-trips.
+func boundDesign(t *testing.T) *Design {
+	t.Helper()
+	d, lut, ff := smallDesign(t)
+	d.Cells[lut] = Site{Row: 1, Col: 1, Slice: 0, LE: LEF}
+	d.Cells[ff] = Site{Row: 1, Col: 1, Slice: 0, LE: LEF}
+	assignPorts(d)
+	if err := d.CheckPlacement(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestBindRoundTrip is the build cache's rehydration contract: Flatten a
+// placed design and Bind it back onto the SAME live netlist; the result must
+// reference the caller's netlist objects and reproduce every site and pad.
+func TestBindRoundTrip(t *testing.T) {
+	d := boundDesign(t)
+	f, err := d.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := device.MustByName("XCV50")
+	got, err := Bind(f, part, d.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Netlist != d.Netlist {
+		t.Fatal("Bind must keep the caller's netlist, not build a fresh one")
+	}
+	if len(got.Cells) != len(d.Cells) {
+		t.Fatalf("cells: %d vs %d", len(got.Cells), len(d.Cells))
+	}
+	for c, site := range d.Cells {
+		if got.Cells[c] != site {
+			t.Fatalf("cell %q at %v, want %v", c.Name, got.Cells[c], site)
+		}
+	}
+	for p, pad := range d.Ports {
+		if got.Ports[p] != pad {
+			t.Fatalf("port %q on %v, want %v", p.Name, got.Ports[p], pad)
+		}
+	}
+}
+
+func TestBindRejectsMismatches(t *testing.T) {
+	d := boundDesign(t)
+	f, err := d.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := device.MustByName("XCV50")
+
+	t.Run("wrong-part", func(t *testing.T) {
+		other := device.MustByName("XCV1000")
+		if _, err := Bind(f, other, d.Netlist); err == nil {
+			t.Fatal("flat for XCV50 bound onto XCV1000")
+		}
+	})
+	t.Run("wrong-design-name", func(t *testing.T) {
+		nl2 := netlist.NewDesign("other")
+		if _, err := Bind(f, part, nl2); err == nil {
+			t.Fatal("flat bound onto a differently-named design")
+		}
+	})
+	t.Run("missing-cell", func(t *testing.T) {
+		// A structurally different netlist with the same name.
+		nl2 := netlist.NewDesign(d.Netlist.Name)
+		if _, err := Bind(f, part, nl2); err == nil {
+			t.Fatal("flat bound onto an empty netlist")
+		}
+	})
+	t.Run("changed-init", func(t *testing.T) {
+		lut, ok := d.Netlist.Cell("l")
+		if !ok {
+			t.Fatal("no lut")
+		}
+		orig := lut.Init
+		lut.Init ^= 0xffff
+		defer func() { lut.Init = orig }()
+		if _, err := Bind(f, part, d.Netlist); err == nil {
+			t.Fatal("flat bound despite a changed LUT INIT")
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package ucf
+
+import (
+	"testing"
+
+	"repro/internal/frames"
+)
+
+func TestFingerprint(t *testing.T) {
+	rg := frames.Region{R1: 0, C1: 0, R2: 15, C2: 7}
+	mk := func(pattern string) *Constraints {
+		c := New()
+		c.AddGroup(pattern, "AG", rg)
+		return c
+	}
+	c1, c2 := mk("u1/*"), mk("u1/*")
+	if c1.Fingerprint() != c2.Fingerprint() {
+		t.Fatal("identical constraints fingerprint differently")
+	}
+	if mk("u2/*").Fingerprint() == c1.Fingerprint() {
+		t.Fatal("pattern change not covered")
+	}
+	other := New()
+	other.AddGroup("u1/*", "AG", frames.Region{R1: 0, C1: 2, R2: 15, C2: 9})
+	if other.Fingerprint() == c1.Fingerprint() {
+		t.Fatal("region change not covered")
+	}
+	// A nil constraint set has a distinct, stable fingerprint.
+	var nilCons *Constraints
+	if nilCons.Fingerprint() == c1.Fingerprint() {
+		t.Fatal("nil constraints collide with a real set")
+	}
+	if nilCons.Fingerprint() != (*Constraints)(nil).Fingerprint() {
+		t.Fatal("nil fingerprint unstable")
+	}
+	// Fingerprints follow Emit, so a parse round-trip preserves them.
+	parsed, err := Parse(c1.Emit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Fingerprint() != c1.Fingerprint() {
+		t.Fatal("parse round-trip changed the fingerprint")
+	}
+}

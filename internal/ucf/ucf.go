@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/device"
 	"repro/internal/frames"
 )
@@ -254,6 +255,19 @@ func (c *Constraints) Emit() string {
 		fmt.Fprintf(&b, "INST \"%s\" LOC = \"%s\";\n", inst, c.InstLocs[inst])
 	}
 	return b.String()
+}
+
+// Fingerprint returns a stable content hash of the constraint set, for use
+// as a CAD cache key component. Emit already renders every constraint in a
+// deterministic order (sorted maps, file-ordered AREA_GROUP rules — rule
+// order is semantic, last match wins), so the fingerprint is simply a hash
+// of the canonical text.
+func (c *Constraints) Fingerprint() string {
+	h := cache.NewHasher("ucf/v1")
+	if c != nil {
+		h.Str("emit", c.Emit())
+	}
+	return h.Sum().String()
 }
 
 func sortedKeys[V any](m map[string]V) []string {

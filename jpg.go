@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"repro/internal/bitfile"
 	"repro/internal/bitstream"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/designs"
 	"repro/internal/device"
@@ -140,6 +141,35 @@ func NewTraceCollector() *TraceCollector { return obs.New() }
 
 // MetricsNow snapshots the process-wide metrics registry.
 func MetricsNow() MetricsSnapshot { return obs.Default.Snapshot() }
+
+// Build cache (see internal/cache). A Cache memoizes CAD stage results —
+// map, place, route, bitgen, partial generation — under content-addressed
+// keys derived from every input the stage consumes, so repeated identical
+// work is fetched instead of recomputed. Caching never changes results:
+// artifacts are byte-identical with the cache cold, warm or absent, at any
+// worker count. Attach one to a context with WithCache for the Build*
+// functions, or set Project.Cache for partial generation.
+type (
+	// Cache is a bounded, concurrency-safe content-addressed store with an
+	// optional on-disk tier.
+	Cache = cache.Cache
+	// CacheOptions bounds a cache (entries, bytes, disk directory).
+	CacheOptions = cache.Options
+	// CacheStats is a point-in-time cache summary (per-stage hit rates).
+	CacheStats = cache.Stats
+)
+
+// NewCache returns a build cache (zero options select the defaults: 4096
+// entries, 256 MiB, disk under $JPG_CACHE_DIR when set).
+func NewCache(o CacheOptions) *Cache { return cache.New(o) }
+
+// WithCache attaches a build cache to a context; the CAD flow consults it
+// for every stage run under that context.
+func WithCache(ctx context.Context, c *Cache) context.Context { return cache.With(ctx, c) }
+
+// DefaultCache returns the process-wide cache configured from the
+// environment ($JPG_CACHE / $JPG_CACHE_DIR), or nil when disabled.
+func DefaultCache() *Cache { return cache.Default() }
 
 // BuildVariants implements a batch of sub-module variants concurrently
 // (Phase 2 as a farm). Project.GeneratePartialAll is the matching
