@@ -9,11 +9,17 @@
 // Usage:
 //
 //	jpg -base base.bit -xdl variant.xdl -ucf variant.ucf -o partial.bit \
-//	    [-writeback rewritten.bit] [-floorplan] [-strict] [-download] [-v]
+//	    [-writeback rewritten.bit] [-floorplan] [-strict] [-download] [-v] \
+//	    [-faults spec] [-retries n] [-download-timeout d]
 //
 // With -v the tool traces its stages (project init, XDL parse, partial
 // generation, download) and prints a per-stage time summary plus the key
 // metrics after the run.
+//
+// The -download path is hardened: -retries and -download-timeout wrap the
+// board in a retrying, verifying reliability layer, and -faults (or
+// $JPG_FAULTS) injects deterministic link faults to exercise it — e.g.
+// -faults "nth=2,mode=error,seed=7" fails every second download attempt.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/xhwif"
 )
@@ -52,6 +59,9 @@ func run() error {
 		verbose   = flag.Bool("v", false, "trace the tool's stages and print a per-stage summary and metrics")
 		useCache  = flag.Bool("cache", cache.EnvEnabled(), "memoize partial-bitstream generation (content-addressed; default $JPG_CACHE/$JPG_CACHE_DIR)")
 		cacheDir  = flag.String("cache-dir", os.Getenv(cache.EnvDir), "persist the cache on disk under this directory (implies -cache)")
+		faultSpec = flag.String("faults", os.Getenv(faults.Env), "inject deterministic download faults (e.g. \"nth=2,mode=error,seed=7\"; default $JPG_FAULTS)")
+		retries   = flag.Int("retries", 0, "max download attempts through the reliability layer (0 = xhwif default; implies the layer when > 0)")
+		dlTimeout = flag.Duration("download-timeout", 0, "deadline for one download including retries (implies the reliability layer when > 0)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -133,14 +143,33 @@ func run() error {
 	}
 
 	if *download {
+		spec, err := faults.Parse(*faultSpec)
+		if err != nil {
+			return err
+		}
+		var hw xhwif.HWIF = xhwif.NewBoard(proj.Part)
+		var injector *faults.Injector
+		if spec.Enabled() {
+			injector = faults.Wrap(hw, spec)
+			hw = injector
+			fmt.Printf("fault injection: %s\n", spec)
+		}
+		var reliable *xhwif.ReliableHWIF
+		if spec.Enabled() || *retries > 0 || *dlTimeout > 0 {
+			reliable = xhwif.NewReliable(hw, xhwif.RetryPolicy{
+				MaxAttempts: *retries,
+				Timeout:     *dlTimeout,
+				Verify:      true,
+			})
+			hw = reliable
+		}
 		_, sp = obs.Start(ctx, "download")
-		board := xhwif.NewBoard(proj.Part)
-		dsFull, err := board.Download(baseBS)
+		dsFull, err := hw.Download(baseBS)
 		if err != nil {
 			sp.End()
 			return err
 		}
-		ds, err := board.Download(res.Bitstream)
+		ds, err := hw.Download(res.Bitstream)
 		sp.End()
 		if err != nil {
 			return err
@@ -148,6 +177,16 @@ func run() error {
 		fmt.Printf("download (SelectMAP @ %.0f MHz): full %v, partial %v (%.1fx faster)\n",
 			xhwif.DefaultClockHz/1e6, dsFull.ModelTime, ds.ModelTime,
 			float64(dsFull.ModelTime)/float64(ds.ModelTime))
+		if reliable != nil {
+			r, a, v := reliable.Counts()
+			line := fmt.Sprintf("reliability: %d attempt(s) full, %d attempt(s) partial; %d retr%s, %d abort(s), %d verify failure(s)",
+				dsFull.Attempts, ds.Attempts, r, plural(r, "y", "ies"), a, v)
+			if injector != nil {
+				attempts, injected := injector.Counts()
+				line += fmt.Sprintf("; faults injected %d/%d", injected, attempts)
+			}
+			fmt.Println(line)
+		}
 	}
 	if col != nil {
 		fmt.Println("-- stage summary --")
@@ -156,6 +195,13 @@ func run() error {
 		fmt.Print(obs.Default.Snapshot().Render())
 	}
 	return nil
+}
+
+func plural(n int64, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // wrap encloses raw configuration data in a .bit container with a metadata

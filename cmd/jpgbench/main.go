@@ -17,6 +17,11 @@
 //	jpgbench -cache          # memoize CAD stages (content-addressed; results
 //	                         # are byte-identical, only wall-clock changes)
 //	jpgbench -cache-dir d    # persist the cache on disk under d
+//	jpgbench -faults spec    # inject deterministic download faults (or
+//	                         # $JPG_FAULTS); boards gain a retrying,
+//	                         # verifying reliability layer, results identical
+//	jpgbench -retries n      # bound download attempts per board download
+//	jpgbench -download-timeout d  # deadline per download incl. retries
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 )
@@ -130,9 +136,19 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print the metrics registry snapshot and per-stage span summary after the run")
 		useCache = flag.Bool("cache", cache.EnvEnabled(), "memoize CAD stage results (content-addressed; default $JPG_CACHE/$JPG_CACHE_DIR)")
 		cacheDir = flag.String("cache-dir", os.Getenv(cache.EnvDir), "persist the cache on disk under this directory (implies -cache)")
+		faultStr = flag.String("faults", os.Getenv(faults.Env), "inject deterministic download faults into every experiment board (e.g. \"nth=2,mode=error,seed=7\"; default $JPG_FAULTS)")
+		retries  = flag.Int("retries", 0, "max download attempts per board download (0 = xhwif default; the reliability layer is on whenever -faults/-retries/-download-timeout is set)")
+		dlTmout  = flag.Duration("download-timeout", 0, "deadline for one board download including retries")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Part: *part, Seed: *seed, Quick: *quick, Workers: *workers}
+	if _, err := faults.Parse(*faultStr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := experiments.Config{
+		Part: *part, Seed: *seed, Quick: *quick, Workers: *workers,
+		Faults: *faultStr, Retries: *retries, DownloadTimeout: *dlTmout,
+	}
 	var bcache *cache.Cache
 	if *useCache || *cacheDir != "" {
 		bcache = cache.New(cache.Options{Dir: *cacheDir, NoDisk: *cacheDir == ""})
@@ -227,6 +243,16 @@ func main() {
 			}
 			record.Experiments = append(record.Experiments, pe)
 		}
+	}
+	if *faultStr != "" {
+		fmt.Printf("fault injection %q: injected %d of %d download attempts; %d retries, %d rollbacks, %d aborts, %d verify failures\n",
+			*faultStr,
+			obs.GetCounter("faults.injected").Value(),
+			obs.GetCounter("faults.download_attempts").Value(),
+			obs.GetCounter("xhwif.retries").Value(),
+			obs.GetCounter("xhwif.rollbacks").Value(),
+			obs.GetCounter("xhwif.download_aborts").Value(),
+			obs.GetCounter("xhwif.verify_failures").Value())
 	}
 	record.Version = obs.ExportVersion
 	if bcache != nil {

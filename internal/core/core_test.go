@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -504,5 +505,74 @@ func TestGeneratePartialAll(t *testing.T) {
 	}
 	if _, err := proj.GeneratePartialAll(mods, GenerateOptions{WriteBack: true}); err == nil {
 		t.Fatal("GeneratePartialAll accepted WriteBack")
+	}
+}
+
+// alwaysFail simulates a dead configuration link: every download errors and
+// the device keeps its state.
+type alwaysFail struct{ *xhwif.Board }
+
+func (alwaysFail) Download([]byte) (xhwif.DownloadStats, error) {
+	return xhwif.DownloadStats{}, context.DeadlineExceeded
+}
+
+// TestGenerateAndDownloadCtxCancellation checks the context plumbing and the
+// transactional contract: a cancelled context aborts before touching the
+// board, and a failed download leaves the project view untouched so it never
+// diverges from the device.
+func TestGenerateAndDownloadCtxCancellation(t *testing.T) {
+	base, variant := setup(t)
+	proj, err := NewProject(base.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := proj.AddModule("v", variant.XDL, variant.UCF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	board := xhwif.NewBoard(proj.Part)
+	if _, err := board.Download(base.Bitstream); err != nil {
+		t.Fatal(err)
+	}
+	pre := board.Readback()
+	preBase := proj.Base.Clone()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := proj.GenerateAndDownloadCtx(ctx, m, board, GenerateOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !board.Readback().Equal(pre) {
+		t.Fatal("cancelled download touched the board")
+	}
+
+	// Failed download: project Base must not advance past the device.
+	if _, _, err := proj.GenerateAndDownloadCtx(context.Background(), m, alwaysFail{board}, GenerateOptions{}); err == nil {
+		t.Fatal("dead link reported success")
+	}
+	if !proj.Base.Equal(preBase) {
+		t.Fatal("project view advanced although the download failed")
+	}
+	if !board.Readback().Equal(pre) {
+		t.Fatal("failed download changed the device")
+	}
+}
+
+// TestGeneratePartialAllCtxCancelled checks that a pre-cancelled context
+// returns context.Canceled without generating anything.
+func TestGeneratePartialAllCtxCancelled(t *testing.T) {
+	base, variant := setup(t)
+	proj, err := NewProject(base.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := proj.AddModule("v", variant.XDL, variant.UCF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := proj.GeneratePartialAllCtx(ctx, []*Module{m}, GenerateOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitstream"
@@ -274,27 +275,71 @@ func (p *Project) computePartial(m *Module, opts GenerateOptions) (*Result, erro
 // state by definition, so a concurrent batch has no meaningful order —
 // callers that need option 2 semantics apply the partials one at a time.
 func (p *Project) GeneratePartialAll(ms []*Module, opts GenerateOptions, popts ...parallel.Option) ([]*Result, error) {
+	return p.GeneratePartialAllCtx(context.Background(), ms, opts, popts...)
+}
+
+// GeneratePartialAllCtx is GeneratePartialAll under a context: cancelling
+// ctx stops the batch dispatching new modules (in-flight generations run to
+// completion) and returns ctx.Err().
+func (p *Project) GeneratePartialAllCtx(ctx context.Context, ms []*Module, opts GenerateOptions, popts ...parallel.Option) ([]*Result, error) {
 	if opts.WriteBack {
 		return nil, fmt.Errorf("core: GeneratePartialAll cannot WriteBack (write-backs are order-dependent); generate serially")
 	}
-	return parallel.Map(ms, func(_ int, m *Module) (*Result, error) {
+	return parallel.MapCtx(ctx, ms, func(_ context.Context, _ int, m *Module) (*Result, error) {
 		return p.GeneratePartial(m, opts)
 	}, popts...)
 }
 
+// ContextDownloader is the context-aware download side of a board;
+// *xhwif.ReliableHWIF implements it (per-download deadlines, cancellable
+// backoff).
+type ContextDownloader interface {
+	DownloadCtx(ctx context.Context, bs []byte) (xhwif.DownloadStats, error)
+}
+
 // GenerateAndDownload generates the partial bitstream and downloads it to a
-// board over the XHWIF interface (always writing back, so the project's view
-// of the base configuration tracks the device state).
+// board over the XHWIF interface, writing back on success so the project's
+// view of the base configuration tracks the device state. The write-back is
+// transactional with the download: if the board rejects the stream (all
+// retries exhausted, for a reliability-wrapped board), the project's base
+// configuration is left exactly as it was, mirroring the device's own
+// rollback — project and device never diverge.
 func (p *Project) GenerateAndDownload(m *Module, board xhwif.HWIF, opts GenerateOptions) (*Result, xhwif.DownloadStats, error) {
-	opts.WriteBack = true
+	return p.GenerateAndDownloadCtx(context.Background(), m, board, opts)
+}
+
+// GenerateAndDownloadCtx is GenerateAndDownload under a context. When the
+// board implements ContextDownloader the context governs the download
+// (deadline, cancellation mid-backoff); otherwise it only gates the start.
+func (p *Project) GenerateAndDownloadCtx(ctx context.Context, m *Module, board xhwif.HWIF, opts GenerateOptions) (*Result, xhwif.DownloadStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, xhwif.DownloadStats{}, err
+	}
+	// Generate without writing back: the base must only advance once the
+	// device has accepted the stream.
+	opts.WriteBack = false
 	res, err := p.GeneratePartial(m, opts)
 	if err != nil {
 		return nil, xhwif.DownloadStats{}, err
 	}
-	ds, err := board.Download(res.Bitstream)
+	var ds xhwif.DownloadStats
+	if cd, ok := board.(ContextDownloader); ok {
+		ds, err = cd.DownloadCtx(ctx, res.Bitstream)
+	} else {
+		ds, err = board.Download(res.Bitstream)
+	}
 	if err != nil {
 		return res, ds, fmt.Errorf("core: download: %w", err)
 	}
+	// Commit: replay the accepted stream onto the base, which reproduces
+	// exactly the state the device now holds (the partial carries every
+	// frame of its columns).
+	work := p.Base.Clone()
+	if _, err := bitstream.Apply(work, res.Bitstream); err != nil {
+		return res, ds, fmt.Errorf("core: write-back after download: %w", err)
+	}
+	p.Base = work
+	p.advanceBaseFP(m.fp)
 	return res, ds, nil
 }
 

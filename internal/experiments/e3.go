@@ -8,7 +8,6 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/device"
 	"repro/internal/frames"
-	"repro/internal/xhwif"
 )
 
 // E3 reproduces §2.1's reconfiguration-time claim: downloading a partial
@@ -40,7 +39,10 @@ func E3(cfg Config) (*Table, error) {
 		for i := 0; i < 200; i++ {
 			mem.SetBit(p.CLBBit(rng.Intn(p.Rows), rng.Intn(p.Cols), rng.Intn(device.CLBLocalBits)), true)
 		}
-		board := xhwif.NewBoard(p)
+		board, err := cfg.board(p)
+		if err != nil {
+			return nil, err
+		}
 		full := bitstream.WriteFull(mem)
 		dsFull, err := board.Download(full)
 		if err != nil {

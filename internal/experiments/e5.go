@@ -10,7 +10,6 @@ import (
 	"repro/internal/flow"
 	"repro/internal/frames"
 	"repro/internal/sim"
-	"repro/internal/xhwif"
 )
 
 // E5 verifies the paper's correctness premise (§3.2, claim C4): applying a
@@ -62,7 +61,10 @@ func E5(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E5 %s variant: %w", sw.name, err)
 		}
-		board := xhwif.NewBoard(part)
+		board, err := cfg.board(part)
+		if err != nil {
+			return nil, err
+		}
 		if _, err := board.Download(base.Bitstream); err != nil {
 			return nil, err
 		}

@@ -10,7 +10,6 @@ import (
 	"repro/internal/flow"
 	"repro/internal/jbitsdiff"
 	"repro/internal/parbit"
-	"repro/internal/xhwif"
 )
 
 // E6 reproduces the §2.3 related-work comparison: deploying one module
@@ -46,7 +45,10 @@ func E6(cfg Config) (*Table, error) {
 	}
 
 	check := func(partialBS []byte) string {
-		board := xhwif.NewBoard(part)
+		board, err := cfg.board(part)
+		if err != nil {
+			return "FAIL: " + err.Error()
+		}
 		if _, err := board.Download(base.Bitstream); err != nil {
 			return "FAIL: " + err.Error()
 		}

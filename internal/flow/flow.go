@@ -251,6 +251,9 @@ func regionForNet(regions map[string]frames.Region) func(*netlist.Net) *frames.R
 // cache; it is unused when no cache is attached to the context.
 func run(ctx context.Context, p *device.Part, nl *netlist.Design, cons *ucf.Constraints,
 	rfn func(*netlist.Net) *frames.Region, regionFP string, opts Options, synthTime time.Duration) (Artifacts, error) {
+	if err := ctx.Err(); err != nil {
+		return Artifacts{Part: p, Netlist: nl}, err
+	}
 	if c := cache.FromContext(ctx); c != nil {
 		return runCached(ctx, c, p, nl, cons, rfn, regionFP, opts, synthTime)
 	}
@@ -275,6 +278,12 @@ func runStages(ctx context.Context, p *device.Part, nl *netlist.Design, cons *uc
 	a.Times.Place = time.Since(t0)
 	mPlaceNS.Observe(a.Times.Place.Nanoseconds())
 
+	// A cancelled build stops at the next stage boundary: in-flight stages
+	// are CPU-bound and uninterruptible, but no new stage starts once the
+	// context dies.
+	if err := ctx.Err(); err != nil {
+		return a, err
+	}
 	t0 = time.Now()
 	_, sp = obs.Start(ctx, "route")
 	err = route.Route(pd, route.Options{RegionForNet: rfn})
@@ -285,6 +294,9 @@ func runStages(ctx context.Context, p *device.Part, nl *netlist.Design, cons *uc
 	a.Times.Route = time.Since(t0)
 	a.Phys = pd
 
+	if err := ctx.Err(); err != nil {
+		return a, err
+	}
 	t0 = time.Now()
 	_, sp = obs.Start(ctx, "bitgen")
 	bs, err := bitgen.FullBitstream(pd)

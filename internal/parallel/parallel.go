@@ -82,6 +82,7 @@ func resolve(n int, opts []Option) int {
 var (
 	mBatches    = obs.GetCounter("parallel.batches")
 	mTasks      = obs.GetCounter("parallel.tasks")
+	mCancels    = obs.GetCounter("parallel.batches_cancelled")
 	mQueueDepth = obs.GetGauge("parallel.queue_depth")
 	mQueueWait  = obs.GetHistogram("parallel.task_queue_wait_ns")
 	mRunTime    = obs.GetHistogram("parallel.task_run_ns")
@@ -113,6 +114,11 @@ func runTask(ctx context.Context, i int, batchStart time.Time, fn func(ctx conte
 // error the pool stops handing out new indices (in-flight items run to
 // completion), and the returned error is the lowest-index one — not the
 // first observed — so failures are reproducible across worker counts.
+//
+// Cancelling ctx stops the dispatch loop (serial and pooled alike): no new
+// index is handed out once ctx.Done() fires, in-flight items run to
+// completion, and the batch returns ctx.Err(). A task failure observed
+// before the cancellation keeps the lowest-index-error contract.
 func ForEachNCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) error, opts ...Option) error {
 	if n <= 0 {
 		return nil
@@ -139,6 +145,10 @@ func ForEachNCtx(ctx context.Context, n int, fn func(ctx context.Context, i int)
 
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := bctx.Err(); err != nil {
+				mCancels.Inc()
+				return err
+			}
 			if err := exec(bctx, i); err != nil {
 				return err
 			}
@@ -173,6 +183,9 @@ func ForEachNCtx(ctx context.Context, n int, fn func(ctx context.Context, i int)
 				wctx = obs.Lane(bctx, "worker "+strconv.Itoa(w))
 			}
 			for {
+				if bctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
@@ -185,7 +198,14 @@ func ForEachNCtx(ctx context.Context, n int, fn func(ctx context.Context, i int)
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := bctx.Err(); err != nil {
+		mCancels.Inc()
+		return err
+	}
+	return nil
 }
 
 // ForEachN is ForEachNCtx without a caller context (no tracing parentage;

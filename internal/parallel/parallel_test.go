@@ -257,3 +257,89 @@ func TestSerialBatchTracesOnCallerLane(t *testing.T) {
 		t.Fatalf("serial batch created extra lanes: %v", lanes)
 	}
 }
+
+func TestForEachNCtxPreCancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var ran atomic.Int32
+		err := ForEachNCtx(ctx, 50, func(context.Context, int) error {
+			ran.Add(1)
+			return nil
+		}, WithWorkers(workers))
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got != 0 {
+			t.Fatalf("workers=%d: %d tasks dispatched on a dead context", workers, got)
+		}
+	}
+}
+
+func TestForEachNCtxCancelStopsDispatchSerial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEachNCtx(ctx, 50, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	}, WithWorkers(1))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("serial loop ran %d tasks after cancel at index 2, want 3", got)
+	}
+}
+
+func TestForEachNCtxCancelStopsDispatchPooled(t *testing.T) {
+	const n, workers = 1000, 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	err := ForEachNCtx(ctx, n, func(_ context.Context, i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	}, WithWorkers(workers))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// After the cancellation is observed each worker finishes at most its
+	// in-flight task plus one it raced into; nothing like the full batch
+	// may be dispatched.
+	if got := ran.Load(); got >= n/2 {
+		t.Fatalf("%d of %d tasks dispatched after mid-batch cancel", got, n)
+	}
+}
+
+func TestForEachNCtxTaskErrorBeatsCancellation(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEachNCtx(ctx, 10, func(_ context.Context, i int) error {
+		if i == 1 {
+			cancel()
+			return boom
+		}
+		return nil
+	}, WithWorkers(1))
+	if err != boom {
+		t.Fatalf("err = %v, want the task error (lowest-index contract)", err)
+	}
+}
+
+func TestMapCtxCancelledReturnsNoResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := []int{1, 2, 3}
+	out, err := MapCtx(ctx, items, func(_ context.Context, _ int, v int) (int, error) {
+		return v * 2, nil
+	}, WithWorkers(2))
+	if err != context.Canceled || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, context.Canceled)", out, err)
+	}
+}

@@ -3,10 +3,19 @@
 // behind a SelectMAP configuration port, with a download-time model derived
 // from the port's published characteristics (one byte per configuration
 // clock, 50 MHz by default).
+//
+// Downloads are transactional: a bitstream is applied to a staging copy of
+// the configuration memory and committed only if the whole stream decodes
+// and applies cleanly, so a failed partial reconfiguration leaves the
+// running device exactly as it was. ReliableHWIF (reliable.go) layers
+// bounded retries, per-download deadlines and verify-after-write readback on
+// top of any HWIF — the substrate a runtime reconfiguration manager needs
+// over a flaky physical link.
 package xhwif
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/bitstream"
@@ -30,6 +39,13 @@ type HWIF interface {
 	Readback() *frames.Memory
 }
 
+// FrameReader is the optional frame-granular readback side of a HWIF.
+// *Board implements it; decorators (ReliableHWIF, faults injectors) forward
+// it so verify-after-write can read back only the frames a download touched.
+type FrameReader interface {
+	ReadbackFrames(fars []device.FAR) ([][]uint32, error)
+}
+
 // DownloadStats reports one download.
 type DownloadStats struct {
 	Bytes         int
@@ -41,16 +57,21 @@ type DownloadStats struct {
 	// (full configurations do; partial reconfigurations of a running
 	// device do not).
 	Started bool
+	// Attempts counts the download attempts a reliability layer made (1 for
+	// a direct Board download).
+	Attempts int
 }
 
 // Download metrics (always on; see internal/obs): sizes, frame counts and
 // modelled SelectMAP transfer times — the observable behind the paper's
 // download-time claim (a partial stream configures in a fraction of the
-// full stream's time).
+// full stream's time). Rollbacks count failed downloads whose staging state
+// was discarded, leaving the device untouched.
 var (
 	mDownloads     = obs.GetCounter("xhwif.downloads")
 	mDownloadBytes = obs.GetCounter("xhwif.bytes_downloaded")
 	mFramesWritten = obs.GetCounter("xhwif.frames_written")
+	mRollbacks     = obs.GetCounter("xhwif.rollbacks")
 	mDownloadNs    = obs.GetHistogram("xhwif.download_model_ns")
 	mDownloadSizeB = obs.GetHistogram("xhwif.download_bytes_hist")
 )
@@ -61,16 +82,23 @@ type Board struct {
 	// ClockHz is the SelectMAP configuration clock (DefaultClockHz if 0).
 	ClockHz float64
 
+	// mu guards the configuration memory, the running flag and the
+	// cumulative counters: downloads are dispatched from parallel workers
+	// (experiments farm them through internal/parallel), and a download
+	// must observe and commit a consistent memory state.
+	mu      sync.Mutex
 	mem     *frames.Memory
 	running bool
 
-	// Cumulative counters.
+	// Cumulative counters. Guarded by mu; read them through Totals() when
+	// any download may be concurrent.
 	Downloads      int
 	TotalBytes     int
 	TotalModelTime time.Duration
 }
 
 var _ HWIF = (*Board)(nil)
+var _ FrameReader = (*Board)(nil)
 
 // NewBoard returns a board with a blank (unconfigured) device.
 func NewBoard(p *device.Part) *Board {
@@ -82,26 +110,51 @@ func (b *Board) PartName() string { return b.Part.Name }
 
 // Running reports whether the device has completed a start-up sequence and
 // is executing its design.
-func (b *Board) Running() bool { return b.running }
+func (b *Board) Running() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.running
+}
+
+// Totals returns the cumulative download counters consistently.
+func (b *Board) Totals() (downloads, bytes int, modelTime time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.Downloads, b.TotalBytes, b.TotalModelTime
+}
 
 // Download implements HWIF: the bitstream is applied through the
 // configuration-port VM; a partial bitstream on a running device performs
 // dynamic partial reconfiguration (the rest of the device keeps its state).
+//
+// The download is transactional: the stream applies into a staging clone of
+// the configuration memory, which replaces the live memory only if every
+// packet decoded and applied cleanly. On error the device keeps its exact
+// pre-download state (counted by the xhwif.rollbacks metric), unlike real
+// hardware, where an aborted SelectMAP transfer leaves frames half-written
+// and forces a full reconfiguration — the recovery path ReliableHWIF exists
+// to avoid.
 func (b *Board) Download(bs []byte) (DownloadStats, error) {
 	clock := b.ClockHz
 	if clock == 0 {
 		clock = DefaultClockHz
 	}
-	stats, err := bitstream.Apply(b.mem, bs)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	staging := b.mem.Clone()
+	stats, err := bitstream.Apply(staging, bs)
 	ds := DownloadStats{
 		Bytes:         len(bs),
 		FramesWritten: stats.FramesWritten,
 		ModelTime:     time.Duration(float64(len(bs)) / clock * float64(time.Second)),
 		Started:       stats.Started,
+		Attempts:      1,
 	}
 	if err != nil {
-		return ds, fmt.Errorf("xhwif: download failed: %w", err)
+		mRollbacks.Inc()
+		return ds, fmt.Errorf("xhwif: download failed (device state rolled back): %w", err)
 	}
+	b.mem = staging
 	if stats.Started {
 		b.running = true
 	}
@@ -118,22 +171,35 @@ func (b *Board) Download(bs []byte) (DownloadStats, error) {
 
 // Readback implements HWIF: a copy of the current configuration memory, as
 // Virtex readback (FDRO) provides.
-func (b *Board) Readback() *frames.Memory { return b.mem.Clone() }
+func (b *Board) Readback() *frames.Memory {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.mem.Clone()
+}
 
-// ReadbackFrames reads the addressed frames only.
-func (b *Board) ReadbackFrames(fars []device.FAR) [][]uint32 {
+// ReadbackFrames reads the addressed frames only. Every address is
+// validated against the part's frame space; an out-of-range FAR is an
+// error, not a panic.
+func (b *Board) ReadbackFrames(fars []device.FAR) ([][]uint32, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	out := make([][]uint32, len(fars))
 	for i, f := range fars {
+		if !b.Part.ValidFAR(f) {
+			return nil, fmt.Errorf("xhwif: readback of invalid %v on %s", f, b.Part.Name)
+		}
 		frame := make([]uint32, b.Part.FrameWords())
 		copy(frame, b.mem.Frame(f))
 		out[i] = frame
 	}
-	return out
+	return out, nil
 }
 
 // ExecuteReadback runs a readback packet request (bitstream.
 // WriteReadbackRequest) against the device and returns the raw read words,
 // as the SelectMAP port would shift them out.
 func (b *Board) ExecuteReadback(request []byte) ([]uint32, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return bitstream.ExecuteReadback(b.mem, request)
 }

@@ -2,6 +2,7 @@ package xhwif
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -99,7 +100,10 @@ func TestReadbackFrames(t *testing.T) {
 	if len(fars) == 0 {
 		t.Fatal("test memory has no content")
 	}
-	got := b.ReadbackFrames(fars)
+	got, err := b.ReadbackFrames(fars)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, far := range fars {
 		want := mem.Frame(far)
 		for w := range want {
@@ -107,5 +111,61 @@ func TestReadbackFrames(t *testing.T) {
 				t.Fatalf("frame %v word %d mismatch", far, w)
 			}
 		}
+	}
+}
+
+func TestDownloadRollbackOnMalformedStream(t *testing.T) {
+	mem, bs := fullBitstream(t, 6)
+	b := NewBoard(device.MustByName("XCV50"))
+	if _, err := b.Download(bs); err != nil {
+		t.Fatal(err)
+	}
+	// A different configuration, truncated mid-FDRI: the port must reject
+	// it and the device must keep its exact pre-download state.
+	mem2 := mem.Clone()
+	mem2.SetBit(mem2.Part.CLBBit(1, 1, 1), true)
+	bad := bitstream.WriteFull(mem2)
+	bad = bad[:(len(bad)/2)&^3]
+	if _, err := b.Download(bad); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	if !b.Readback().Equal(mem) {
+		t.Fatal("failed download left the device partially reconfigured")
+	}
+	if d, _, _ := b.Totals(); d != 1 {
+		t.Fatalf("failed download counted: %d downloads", d)
+	}
+}
+
+func TestConcurrentDownloadCounters(t *testing.T) {
+	_, bs := fullBitstream(t, 7)
+	b := NewBoard(device.MustByName("XCV50"))
+	const n = 16
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			if _, err := b.Download(bs); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	d, bytes, mt := b.Totals()
+	if d != n || bytes != n*len(bs) || mt <= 0 {
+		t.Fatalf("counters wrong under concurrency: %d downloads, %d bytes", d, bytes)
+	}
+}
+
+func TestReadbackFramesRejectsInvalidFAR(t *testing.T) {
+	b := NewBoard(device.MustByName("XCV50"))
+	if _, err := b.ReadbackFrames([]device.FAR{device.FAR(0xffffffff)}); err == nil {
+		t.Fatal("out-of-range FAR accepted")
+	}
+	// A valid request still works.
+	got, err := b.ReadbackFrames([]device.FAR{b.Part.FirstFAR()})
+	if err != nil || len(got) != 1 || len(got[0]) != b.Part.FrameWords() {
+		t.Fatalf("valid readback broken: %v", err)
 	}
 }
