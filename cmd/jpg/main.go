@@ -9,8 +9,12 @@
 // Usage:
 //
 //	jpg -base base.bit -xdl variant.xdl -ucf variant.ucf -o partial.bit \
-//	    [-writeback rewritten.bit] [-floorplan] [-strict] [-download] [-v] \
-//	    [-faults spec] [-retries n] [-download-timeout d]
+//	    [-writeback rewritten.bit] [-floorplan] [-strict] [-incremental] \
+//	    [-download] [-v] [-faults spec] [-retries n] [-download-timeout d]
+//
+// -incremental uses the flow's dirty-frame tracking to emit only the frames
+// whose content actually differs from the base — the smallest partial that
+// reconfigures the module, at the cost of being tied to this exact base.
 //
 // With -v the tool traces its stages (project init, XDL parse, partial
 // generation, download) and prints a per-stage time summary plus the key
@@ -56,6 +60,7 @@ func run() error {
 		strict    = flag.Bool("strict", false, "reject modules escaping their declared AREA_GROUP columns")
 		download  = flag.Bool("download", false, "download to a simulated board and report the reconfiguration time")
 		compress  = flag.Bool("compress", false, "emit an MFWR-compressed partial bitstream")
+		incr      = flag.Bool("incremental", false, "emit only the frames the module actually changes against the base (a minimal delta partial; not relocatable)")
 		verbose   = flag.Bool("v", false, "trace the tool's stages and print a per-stage summary and metrics")
 		useCache  = flag.Bool("cache", cache.EnvEnabled(), "memoize partial-bitstream generation (content-addressed; default $JPG_CACHE/$JPG_CACHE_DIR)")
 		cacheDir  = flag.String("cache-dir", os.Getenv(cache.EnvDir), "persist the cache on disk under this directory (implies -cache)")
@@ -122,6 +127,7 @@ func run() error {
 		WriteBack: *writeBack != "",
 		Strict:    *strict,
 		Compress:  *compress,
+		Delta:     *incr,
 	})
 	sp.End()
 	if err != nil {

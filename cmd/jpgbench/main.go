@@ -22,6 +22,11 @@
 //	                         # verifying reliability layer, results identical
 //	jpgbench -retries n      # bound download attempts per board download
 //	jpgbench -download-timeout d  # deadline per download incl. retries
+//	jpgbench -incremental    # also run the E10 edit storm (delta-driven
+//	                         # incremental flow); with -json the edit->partial
+//	                         # stats land in the record for CI's gate
+//	jpgbench -cpuprofile f   # write a pprof CPU profile of the run
+//	jpgbench -memprofile f   # write a pprof heap profile at exit
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -63,18 +69,26 @@ var all = []struct {
 // incompatible change; see obs.ExportVersion) and Metrics snapshots the
 // process-wide registry after the pooled runs.
 type perfRecord struct {
-	Version     int              `json:"version"`
-	Tool        string           `json:"tool"`
-	Part        string           `json:"part"`
-	Seed        int64            `json:"seed"`
-	Quick       bool             `json:"quick"`
-	NumCPU      int              `json:"num_cpu"`
-	Workers     int              `json:"workers"`
-	Experiments []perfExperiment `json:"experiments"`
+	Version int    `json:"version"`
+	Tool    string `json:"tool"`
+	Part    string `json:"part"`
+	Seed    int64  `json:"seed"`
+	Quick   bool   `json:"quick"`
+	NumCPU  int    `json:"num_cpu"`
+	// RequestedWorkers is the raw -workers flag (0 = auto); Workers is the
+	// pool width it resolved to (all cores, or $JPG_WORKERS). Recording both
+	// makes a null speedup diagnosable: a pooled run that was accidentally
+	// serial shows requested 0 resolved to 1.
+	RequestedWorkers int              `json:"requested_workers"`
+	Workers          int              `json:"workers"`
+	Experiments      []perfExperiment `json:"experiments"`
 	// Cache summarises the build cache after the runs (nil when -cache is
 	// off): bounds, per-stage hits/misses and hit rates.
-	Cache   *cacheRecord `json:"cache,omitempty"`
-	Metrics obs.Snapshot `json:"metrics"`
+	Cache *cacheRecord `json:"cache,omitempty"`
+	// Incremental carries the E10 edit-storm stats (-incremental), the
+	// record CI's regression gate compares against its committed baseline.
+	Incremental *experiments.EditStormStats `json:"incremental,omitempty"`
+	Metrics     obs.Snapshot                `json:"metrics"`
 }
 
 type perfExperiment struct {
@@ -124,7 +138,11 @@ func newCacheRecord(c *cache.Cache) *cacheRecord {
 	return rec
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main behind an exit code, so deferred profile writers run before
+// the process exits.
+func run() int {
 	var (
 		expList  = flag.String("exp", "all", "comma-separated experiments (e1..e9) or 'all'")
 		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
@@ -139,11 +157,45 @@ func main() {
 		faultStr = flag.String("faults", os.Getenv(faults.Env), "inject deterministic download faults into every experiment board (e.g. \"nth=2,mode=error,seed=7\"; default $JPG_FAULTS)")
 		retries  = flag.Int("retries", 0, "max download attempts per board download (0 = xhwif default; the reliability layer is on whenever -faults/-retries/-download-timeout is set)")
 		dlTmout  = flag.Duration("download-timeout", 0, "deadline for one board download including retries")
+		incr     = flag.Bool("incremental", false, "also run the E10 edit storm (delta-driven incremental flow)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 	if _, err := faults.Parse(*faultStr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("cpu profile written to %s\n", *cpuProf)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // flush garbage so the heap profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+			fmt.Printf("heap profile written to %s\n", *memProf)
+		}()
 	}
 	cfg := experiments.Config{
 		Part: *part, Seed: *seed, Quick: *quick, Workers: *workers,
@@ -169,7 +221,7 @@ func main() {
 	}
 	record := perfRecord{
 		Tool: "jpgbench", Part: *part, Seed: *seed, Quick: *quick,
-		NumCPU: runtime.NumCPU(), Workers: *workers,
+		NumCPU: runtime.NumCPU(), RequestedWorkers: *workers, Workers: *workers,
 	}
 	if record.Workers == 0 {
 		record.Workers = parallel.DefaultWorkers()
@@ -244,6 +296,23 @@ func main() {
 			record.Experiments = append(record.Experiments, pe)
 		}
 	}
+	if *incr {
+		t0 := time.Now()
+		tab, stats, err := experiments.EditStorm(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "e10: %v\n", err)
+			failed = true
+		} else {
+			fmt.Print(tab.Render())
+			fmt.Printf("(E10 ran in %v)\n\n", time.Since(t0).Round(time.Millisecond))
+			for _, n := range tab.Notes {
+				if strings.Contains(n, "VERDICT: FAIL") {
+					failed = true
+				}
+			}
+			record.Incremental = stats
+		}
+	}
 	if *faultStr != "" {
 		fmt.Printf("fault injection %q: injected %d of %d download attempts; %d retries, %d rollbacks, %d aborts, %d verify failures\n",
 			*faultStr,
@@ -263,7 +332,7 @@ func main() {
 		f, err := os.Create(*tracePth)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		err = col.WriteChromeTrace(f, "jpgbench")
 		if cerr := f.Close(); err == nil {
@@ -271,7 +340,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("trace written to %s (%d spans; open in chrome://tracing or ui.perfetto.dev)\n",
 			*tracePth, len(col.Spans()))
@@ -286,12 +355,12 @@ func main() {
 		buf, err := json.MarshalIndent(record, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "perf record: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		buf = append(buf, '\n')
 		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "perf record: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		for _, e := range record.Experiments {
 			line := fmt.Sprintf("perf %s: serial %.3fs, %d workers %.3fs",
@@ -307,6 +376,7 @@ func main() {
 		fmt.Printf("perf record written to %s\n", *jsonPath)
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,64 @@
+package bitgen
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/frames"
+	"repro/internal/jbits"
+	"repro/internal/netlist"
+	"repro/internal/phys"
+)
+
+// ReprogramInitEdits applies an INIT-only netlist delta to a configuration
+// memory that already holds the previous revision of the design. Only the
+// edited cells are touched: a LUT edit rewrites its 16 truth-table bits
+// (SetLUT writes every bit absolutely, so no clearing is needed) and a DFF
+// edit writes its INIT control bit with the new value — explicitly in both
+// directions, because the full-program path only ever sets it.
+//
+// After the call the memory is bit-identical to what Generate would produce
+// for the edited design, provided it held the Generate output of the
+// previous revision: every other frame bit is a function of placement,
+// routing and connectivity, none of which an INIT-only edit changes. With
+// dirty tracking enabled on mem, the touched frames land in the dirty set.
+func ReprogramInitEdits(mem *frames.Memory, d *phys.Design, edits []netlist.InitEdit) error {
+	jb := jbits.New(mem)
+	for _, e := range edits {
+		c, ok := d.Netlist.Cell(e.Name)
+		if !ok {
+			return fmt.Errorf("bitgen: reprogram: no cell %q", e.Name)
+		}
+		if c.Kind != e.Kind {
+			return fmt.Errorf("bitgen: reprogram: cell %q kind %s, edit says %s", e.Name, c.Kind, e.Kind)
+		}
+		if c.Init != e.NewInit {
+			return fmt.Errorf("bitgen: reprogram: cell %q init %#x, edit says %#x", e.Name, c.Init, e.NewInit)
+		}
+		site, placed := d.Cells[c]
+		if !placed {
+			return fmt.Errorf("bitgen: reprogram: cell %q unplaced", e.Name)
+		}
+		switch c.Kind {
+		case netlist.KindLUT4:
+			lut := device.LUTF
+			if site.LE == phys.LEG {
+				lut = device.LUTG
+			}
+			if err := jb.SetLUT(site.Row, site.Col, site.Slice, lut, jbits.LUTValue(c.Init)); err != nil {
+				return fmt.Errorf("bitgen: reprogram LUT %q: %w", c.Name, err)
+			}
+		case netlist.KindDFF:
+			init := device.SliceCtlINITX
+			if site.LE == phys.LEG {
+				init = device.SliceCtlINITY
+			}
+			if err := jb.SetSliceCtl(site.Row, site.Col, site.Slice, init, c.Init&1 == 1); err != nil {
+				return fmt.Errorf("bitgen: reprogram DFF %q: %w", c.Name, err)
+			}
+		default:
+			return fmt.Errorf("bitgen: reprogram: cell %q has unknown kind", c.Name)
+		}
+	}
+	return nil
+}

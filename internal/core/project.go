@@ -18,8 +18,10 @@ import (
 	"repro/internal/device"
 	"repro/internal/frames"
 	"repro/internal/jbits"
+	"repro/internal/ncd"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/phys"
 	"repro/internal/ucf"
 	"repro/internal/xdl"
 	"repro/internal/xhwif"
@@ -115,6 +117,45 @@ func (p *Project) AddModule(name, xdlText, ucfText string) (*Module, error) {
 	return m, nil
 }
 
+// ModuleFromDesign builds a module from a live physical design and its
+// constraints without registering it with the project — the form the
+// incremental edit loop uses, where every edit yields a fresh revision of
+// the same module and registering each one would grow the project without
+// bound. The module's cache identity is its serialised content (NCD bytes +
+// constraint fingerprint), so revisiting a configuration in a warm edit
+// storm hits the memoized partial.
+func (p *Project) ModuleFromDesign(name string, design *phys.Design, cons *ucf.Constraints) (*Module, error) {
+	if design.Part != p.Part {
+		return nil, fmt.Errorf("core: module %s targets %s but the project device is %s",
+			name, design.Part.Name, p.Part.Name)
+	}
+	if err := cons.Validate(p.Part); err != nil {
+		return nil, fmt.Errorf("core: module %s: %w", name, err)
+	}
+	m, err := newModule(name, design, cons)
+	if err != nil {
+		return nil, fmt.Errorf("core: module %s: %w", name, err)
+	}
+	if ncdBytes, err := ncd.Marshal(design); err == nil {
+		mh := cache.NewHasher("core.module.ncd/v1")
+		mh.Bytes("ncd", ncdBytes)
+		mh.Str("ucf", cons.Fingerprint())
+		m.fp = mh.Sum().String()
+	}
+	return m, nil
+}
+
+// AddModuleDesign is ModuleFromDesign plus registration with the project.
+func (p *Project) AddModuleDesign(name string, design *phys.Design, cons *ucf.Constraints) (*Module, error) {
+	m, err := p.ModuleFromDesign(name, design, cons)
+	if err != nil {
+		return nil, err
+	}
+	p.Modules = append(p.Modules, m)
+	mModulesAdded.Inc()
+	return m, nil
+}
+
 // GenerateOptions controls partial-bitstream generation.
 type GenerateOptions struct {
 	// WriteBack overwrites the project's base configuration with the
@@ -128,6 +169,13 @@ type GenerateOptions struct {
 	// are replicated by reference; see bitstream.WritePartialCompressed).
 	// The board's configuration port must support the MFWR extension.
 	Compress bool
+	// Delta narrows the partial to exactly the frames whose final content
+	// differs from the base configuration, found by dirty-frame tracking
+	// during module replay rather than a full-memory diff — the jbitsdiff
+	// core of the update instead of the paper's column-window partial. The
+	// resulting stream is minimal but not relocatable: it assumes the device
+	// holds the base configuration.
+	Delta bool
 }
 
 // Result reports one partial-bitstream generation.
@@ -191,6 +239,7 @@ func (p *Project) generatePartial(m *Module, opts GenerateOptions) (*Result, err
 	h.Str("module", m.fp)
 	h.Bool("strict", opts.Strict)
 	h.Bool("compress", opts.Compress)
+	h.Bool("delta", opts.Delta)
 	k := h.Sum()
 	data, _, err := c.GetOrCompute("partial", k, func() ([]byte, error) {
 		res, err := p.computePartial(m, opts)
@@ -232,6 +281,9 @@ func (p *Project) computePartial(m *Module, opts GenerateOptions) (*Result, erro
 		return nil, err
 	}
 	work := p.Base.Clone()
+	if opts.Delta {
+		work.StartTracking()
+	}
 	jb := jbits.New(work)
 	// The write granularity is whole columns, so the region's columns are
 	// blanked over the full device height and the module is replayed into
@@ -244,6 +296,22 @@ func (p *Project) computePartial(m *Module, opts GenerateOptions) (*Result, erro
 		return nil, err
 	}
 	fars := region.FARs(p.Part)
+	if opts.Delta {
+		// Dirty tracking names every frame the replay touched; keep the ones
+		// whose final content actually differs from the base (a cleared and
+		// identically reprogrammed frame is not part of the delta).
+		var dirty []device.FAR
+		for _, f := range work.DirtyFARs() {
+			if !work.FrameEqual(p.Base, f) {
+				dirty = append(dirty, f)
+			}
+		}
+		work.StopTracking()
+		if len(dirty) == 0 {
+			return nil, fmt.Errorf("core: delta partial for %s: module changes nothing against the base", m.Name)
+		}
+		fars = dirty
+	}
 	var bs []byte
 	if opts.Compress {
 		bs, err = bitstream.WritePartialCompressed(work, bitstream.RunsForFARs(p.Part, fars))

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/flow"
+	"repro/internal/netlist"
+)
+
+// initEditGen wraps a generator and applies INIT edits after building, so the
+// conventional flow can implement an edited netlist from scratch.
+type initEditGen struct {
+	designs.Generator
+	edits map[string]uint16
+}
+
+func (g initEditGen) Build(d *netlist.Design, prefix string, clk *netlist.Net,
+	ins []*netlist.Net) ([]*netlist.Net, error) {
+	outs, err := g.Generator.Build(d, prefix, clk, ins)
+	if err != nil {
+		return nil, err
+	}
+	for name, init := range g.edits {
+		if err := d.SetInit(name, init); err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// EditStormStats is the machine-readable outcome of the E10 edit storm,
+// consumed by jpgbench's JSON output and CI's regression gate.
+type EditStormStats struct {
+	Edits int `json:"edits"`
+	// ColdPerEditSec and IncrPerEditSec are the mean edit->partial latencies
+	// of the conventional re-run and the incremental engine.
+	ColdPerEditSec float64 `json:"cold_per_edit_sec"`
+	IncrPerEditSec float64 `json:"incr_per_edit_sec"`
+	Speedup        float64 `json:"speedup"`
+	// ByteIdentical reports whether every incremental partial matched its
+	// from-scratch reference byte for byte.
+	ByteIdentical bool `json:"byte_identical"`
+	// Splices and Reuses count how edits were absorbed ("reuse" when the
+	// random edits happened to be no-ops); Rebuilds must stay zero for an
+	// INIT-only storm.
+	Splices  int `json:"splices"`
+	Reuses   int `json:"reuses"`
+	Rebuilds int `json:"rebuilds"`
+	// DeltaFrames sums the dirty frames the incremental engine reported —
+	// the configuration state the storm actually touched.
+	DeltaFrames int `json:"delta_frames"`
+}
+
+// E10 measures the delta-driven incremental flow (§2.1's small-change case,
+// taken to its limit): a storm of LUT/FF INIT edits inside one region,
+// comparing edit->partial latency of a full conventional re-run per edit
+// against the incremental engine's diff+splice, with byte-identity checked
+// against the from-scratch build after every edit.
+func E10(cfg Config) (*Table, error) {
+	t, _, err := EditStorm(cfg)
+	return t, err
+}
+
+// EditStorm runs E10 and also returns its machine-readable stats.
+func EditStorm(cfg Config) (*Table, *EditStormStats, error) {
+	cfg = cfg.withDefaults()
+	ctx := cfg.ctx()
+	part, err := device.ByName(cfg.Part)
+	if err != nil {
+		return nil, nil, err
+	}
+	nBank, edits := 8, 24
+	if cfg.Quick {
+		nBank, edits = 6, 6
+	}
+
+	base, err := flow.BuildBase(ctx, part, []designs.Instance{
+		{Prefix: "u1/", Gen: designs.Counter{Bits: 6}},
+		{Prefix: "u2/", Gen: designs.SBoxBank{N: nBank, Seed: 3}},
+	}, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+	if err != nil {
+		return nil, nil, fmt.Errorf("E10 base: %w", err)
+	}
+	gen := designs.SBoxBank{N: nBank, Seed: 9}
+	vopts := flow.Options{Seed: cfg.Seed + 1, Effort: cfg.Effort}
+	variant, err := flow.BuildVariant(ctx, base, "u2/", gen, vopts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("E10 variant: %w", err)
+	}
+
+	// Incremental side: one project + edit session, kept alive for the storm.
+	proj, err := core.NewProject(base.Bitstream)
+	if err != nil {
+		return nil, nil, err
+	}
+	proj.Cache = cfg.Cache
+	sess, err := flow.NewVariantEditSession(variant, base.Regions["u2/"], vopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	loop := core.NewEditLoop(proj, sess, "u2_storm", core.GenerateOptions{})
+
+	// Conventional side: every edit re-runs the full variant CAD flow and
+	// regenerates the partial in a fresh project, as if no previous result
+	// existed.
+	coldProj, err := core.NewProject(base.Bitstream)
+	if err != nil {
+		return nil, nil, err
+	}
+	coldProj.Cache = cfg.Cache
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 100))
+	cur := variant.Netlist
+	cum := map[string]uint16{}
+	stats := &EditStormStats{Edits: edits, ByteIdentical: true}
+	var coldTotal, incrTotal time.Duration
+	for i := 0; i < edits; i++ {
+		next := cur.Clone()
+		for j, n := 0, 1+rng.Intn(3); j < n; j++ {
+			var name string
+			var init uint16
+			if rng.Intn(4) == 0 {
+				name = fmt.Sprintf("u2/sq%d", rng.Intn(nBank))
+				init = uint16(rng.Intn(2))
+			} else {
+				name = fmt.Sprintf("u2/sbox%d", rng.Intn(nBank))
+				init = uint16(rng.Intn(1 << 16))
+			}
+			if err := next.SetInit(name, init); err != nil {
+				return nil, nil, err
+			}
+			cum[name] = init
+		}
+
+		t0 := time.Now()
+		res, err := loop.Edit(ctx, next)
+		if err != nil {
+			return nil, nil, fmt.Errorf("E10 edit %d: %w", i, err)
+		}
+		incrTotal += time.Since(t0)
+		switch res.Incremental.Stats.Path {
+		case "splice":
+			stats.Splices++
+		case "reuse":
+			stats.Reuses++
+		default:
+			stats.Rebuilds++
+		}
+		stats.DeltaFrames += res.Incremental.Stats.DirtyFrames
+
+		t0 = time.Now()
+		cold, err := flow.BuildVariant(ctx, base, "u2/", initEditGen{gen, cum}, vopts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("E10 cold build %d: %w", i, err)
+		}
+		coldMod, err := coldProj.AddModule(fmt.Sprintf("u2_cold@%d", i), cold.XDL, cold.UCF)
+		if err != nil {
+			return nil, nil, err
+		}
+		coldRes, err := coldProj.GeneratePartial(coldMod, core.GenerateOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		coldTotal += time.Since(t0)
+
+		if !bytes.Equal(res.Partial.Bitstream, coldRes.Bitstream) ||
+			!bytes.Equal(res.Incremental.Artifacts.Bitstream, cold.Bitstream) {
+			stats.ByteIdentical = false
+		}
+		cur = next
+	}
+
+	stats.ColdPerEditSec = coldTotal.Seconds() / float64(edits)
+	stats.IncrPerEditSec = incrTotal.Seconds() / float64(edits)
+	if incrTotal > 0 {
+		stats.Speedup = float64(coldTotal) / float64(incrTotal)
+	}
+
+	t := &Table{
+		ID:    "E10",
+		Title: fmt.Sprintf("edit storm on %s: %d INIT edits in one region", part.Name, edits),
+		Claim: "a netlist edit that changes only LUT/FF INITs needs no new CAD run: diffing " +
+			"and splicing the previous implementation yields the same partial bitstream at a " +
+			"fraction of the edit->partial latency",
+		Columns: []string{"flow", "edits", "total", "per edit", "identical"},
+	}
+	t.AddRow("conventional re-run", edits, coldTotal.Round(time.Millisecond).String(),
+		(coldTotal / time.Duration(edits)).Round(time.Microsecond).String(), "-")
+	t.AddRow("incremental splice", edits, incrTotal.Round(time.Millisecond).String(),
+		(incrTotal / time.Duration(edits)).Round(time.Microsecond).String(),
+		fmt.Sprint(stats.ByteIdentical))
+
+	t.Note("edit->partial speedup = %.1fx (%d spliced / %d reused / %d rebuilt of %d edits, %d dirty frames total)",
+		stats.Speedup, stats.Splices, stats.Reuses, stats.Rebuilds, edits, stats.DeltaFrames)
+	switch {
+	case !stats.ByteIdentical:
+		t.Note("VERDICT: FAIL (incremental output diverged from the from-scratch build)")
+	case stats.Rebuilds > 0:
+		t.Note("VERDICT: FAIL (an INIT-only edit fell back to a rebuild)")
+	case stats.Speedup < 5:
+		t.Note("VERDICT: MIXED (speedup %.1fx below the 5x bar on this host)", stats.Speedup)
+	default:
+		t.Note("VERDICT: PASS")
+	}
+	return t, stats, nil
+}

@@ -163,3 +163,17 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatal("unknown part accepted")
 	}
 }
+
+func TestE10Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E10 runs CAD builds")
+	}
+	// E10's verdict compares wall-clock latencies; assert shape plus the
+	// hard invariants (byte identity, all edits spliced) and log the rest.
+	tab := runAndCheck(t, "E10", E10, false)
+	all := strings.Join(tab.Notes, "\n")
+	if strings.Contains(all, "VERDICT: FAIL") {
+		t.Fatalf("E10 failed a hard invariant:\n%s", all)
+	}
+	t.Log(all)
+}

@@ -480,23 +480,7 @@ func buildVariant(ctx context.Context, part *device.Part, rg frames.Region, base
 // port-connected nets roam free (a generic UCF does not plan pad adjacency
 // the way the partial-reconfiguration floorplanner does).
 func Implement(ctx context.Context, p *device.Part, nl *netlist.Design, cons *ucf.Constraints, opts Options) (*Artifacts, error) {
-	var rfn func(*netlist.Net) *frames.Region
-	if cons != nil && len(cons.Ranges) > 0 {
-		rfn = func(n *netlist.Net) *frames.Region {
-			if n.IsClock || n.Driver.Cell == nil || n.DriverPort != nil || len(n.SinkPorts) > 0 {
-				return nil
-			}
-			if rg, ok := cons.RegionFor(n.Driver.Cell.Name); ok {
-				r := rg
-				return &r
-			}
-			return nil
-		}
-	}
-	regionFP := "none"
-	if rfn != nil {
-		regionFP = "groups" // rfn is a pure function of cons, already keyed
-	}
+	rfn, regionFP := implementRegionFn(cons)
 	ctx, sp := obs.Start(ctx, "flow.implement")
 	defer sp.End()
 	a, err := run(ctx, p, nl, cons, rfn, regionFP, opts, 0)

@@ -1,0 +1,461 @@
+package flow
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitgen"
+	"repro/internal/bitstream"
+	"repro/internal/cache"
+	"repro/internal/device"
+	"repro/internal/frames"
+	"repro/internal/jbitsdiff"
+	"repro/internal/ncd"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/phys"
+	"repro/internal/ucf"
+	"repro/internal/xdl"
+)
+
+// The incremental flow: instead of re-running map/place/route/bitgen for an
+// edited netlist, diff the edit against the previous revision and propagate
+// only the delta. An INIT-only edit (LUT truth tables, flip-flop reset
+// values — the edits the paper's run-time parameterisable cores make) leaves
+// placement and routing untouched, because neither stage consults Init: the
+// previous physical solution is transferred onto the edited netlist by name,
+// only the edited cells' frames are reprogrammed, and dirty-frame tracking
+// names exactly the touched frame runs for partial emission — no full-memory
+// diff. Anything placement or routing could observe falls back to a full
+// deterministic rebuild, so results are byte-identical to the from-scratch
+// flow on every path.
+
+// Incremental-flow metrics (always on; see internal/obs).
+var (
+	mIncrEdits    = obs.GetCounter("flow.incremental_edits")
+	mIncrSplices  = obs.GetCounter("flow.incremental_splices")
+	mIncrRebuilds = obs.GetCounter("flow.incremental_rebuilds")
+	mIncrColHits  = obs.GetCounter("flow.incremental_col_hits")
+	mIncrNS       = obs.GetHistogram("flow.incremental_ns")
+	mIncrDirty    = obs.GetHistogram("flow.incremental_dirty_frames")
+)
+
+// IncrementalStats describes how one edit was absorbed.
+type IncrementalStats struct {
+	// Class is the diff classification: "empty", "init-only", "structural".
+	Class string
+	// Path is what the engine did: "reuse" (no change), "splice" (transfer +
+	// delta reprogram) or "rebuild" (full deterministic re-run).
+	Path string
+	// InitEdits counts the edited cells on the splice path.
+	InitEdits int
+	// DirtyFrames and DirtyColumns describe the touched configuration state
+	// after a splice: exactly the frames whose content changed.
+	DirtyFrames  int
+	DirtyColumns []int
+	// ColumnHits counts per-column sub-stage cache hits during the splice.
+	ColumnHits int
+	// Diff and Apply are the wall-clock costs of diffing the netlists and of
+	// absorbing the edit (splice or rebuild).
+	Diff, Apply time.Duration
+}
+
+// IncrementalResult is the outcome of absorbing one edit.
+type IncrementalResult struct {
+	// Artifacts is the implementation of the edited netlist, byte-identical
+	// to what the from-scratch flow would produce for it.
+	Artifacts *Artifacts
+	// Delta, when non-nil, is the minimal partial bitstream carrying exactly
+	// the frames whose content changed relative to the previous revision —
+	// the jbitsdiff core of the edit. It is nil when nothing changed and
+	// after a structural rebuild of a first-time structure.
+	Delta *jbitsdiff.Core
+	Stats IncrementalStats
+}
+
+// EditSession is the stateful incremental engine: it holds the previous
+// revision's artifacts plus its live configuration memory (with dirty-frame
+// tracking enabled) and absorbs a stream of netlist edits. Sessions are not
+// safe for concurrent use.
+type EditSession struct {
+	// EmitFiles controls whether splices re-emit XDL/NCD artifacts. The hot
+	// edit loop leaves it false — the downstream consumer (core.Project)
+	// takes the live physical design — and identity tests set it true.
+	EmitFiles bool
+
+	part     *device.Part
+	cons     *ucf.Constraints
+	rfn      func(*netlist.Net) *frames.Region
+	regionFP string
+	opts     Options
+
+	prev *Artifacts
+	// mem is the bitgen output for prev.Phys, tracked so splices record
+	// exactly the frames they touch.
+	mem *frames.Memory
+	// colIndex maps each CLB column to the names of the cells placed in it
+	// (sorted); colBase keys the per-column sub-stage cache. Both are
+	// functions of the placement and are rebuilt after a structural rebuild.
+	colIndex map[int][]string
+	colBase  cache.Key
+	valid    bool
+}
+
+// NewEditSession starts an incremental session from a previous
+// implementation, with Implement's region semantics (cell-to-cell nets
+// confined to their AREA_GROUP region). cons may be nil for unconstrained
+// designs; it must be the constraints prev was built with.
+func NewEditSession(prev *Artifacts, cons *ucf.Constraints, opts Options) (*EditSession, error) {
+	rfn, regionFP := implementRegionFn(cons)
+	return newEditSession(prev, cons, rfn, regionFP, opts)
+}
+
+// NewVariantEditSession starts an incremental session from a Phase 2 variant
+// build (BuildVariant / BuildVariantUCF), whose router confines every
+// non-clock net to the instance region. The constraints are recovered from
+// the artifacts' UCF text.
+func NewVariantEditSession(prev *Artifacts, rg frames.Region, opts Options) (*EditSession, error) {
+	cons, err := ucf.Parse(prev.UCF)
+	if err != nil {
+		return nil, fmt.Errorf("flow: edit session: recover UCF: %w", err)
+	}
+	rfn := func(n *netlist.Net) *frames.Region {
+		if n.IsClock {
+			return nil
+		}
+		r := rg
+		return &r
+	}
+	return newEditSession(prev, cons, rfn, "all:"+rg.String(), opts)
+}
+
+func newEditSession(prev *Artifacts, cons *ucf.Constraints, rfn func(*netlist.Net) *frames.Region,
+	regionFP string, opts Options) (*EditSession, error) {
+	if prev == nil || prev.Phys == nil || prev.Netlist == nil {
+		return nil, fmt.Errorf("flow: edit session needs implemented artifacts")
+	}
+	s := &EditSession{
+		part:     prev.Part,
+		cons:     cons,
+		rfn:      rfn,
+		regionFP: regionFP,
+		opts:     opts,
+		prev:     prev,
+	}
+	if err := s.rebind(prev); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// rebind (re)derives the session's memory, column index and sub-stage key
+// base from a freshly implemented revision.
+func (s *EditSession) rebind(a *Artifacts) error {
+	mem, err := bitgen.Generate(a.Phys)
+	if err != nil {
+		return fmt.Errorf("flow: edit session: regenerate frames: %w", err)
+	}
+	mem.StartTracking()
+	s.prev = a
+	s.mem = mem
+
+	s.colIndex = map[int][]string{}
+	for c, site := range a.Phys.Cells {
+		s.colIndex[site.Col] = append(s.colIndex[site.Col], c.Name)
+	}
+	for _, names := range s.colIndex {
+		sort.Strings(names)
+	}
+	h := cache.NewHasher("flow.incremental/v1")
+	h.Str("part", s.part.Name)
+	h.Str("struct", a.Netlist.StructuralFingerprint())
+	h.Str("ucf", s.cons.Fingerprint())
+	h.Str("opts", s.opts.Fingerprint())
+	h.Str("regions", s.regionFP)
+	s.colBase = h.Sum()
+	s.valid = true
+	return nil
+}
+
+// Prev returns the artifacts of the session's current revision.
+func (s *EditSession) Prev() *Artifacts { return s.prev }
+
+// Cons returns the constraints the session implements against.
+func (s *EditSession) Cons() *ucf.Constraints { return s.cons }
+
+// Edit absorbs one netlist edit: diff next against the current revision,
+// splice an INIT-only edit, rebuild anything structural. On success the
+// session advances to next as its current revision.
+func (s *EditSession) Edit(ctx context.Context, next *netlist.Design) (*IncrementalResult, error) {
+	ctx, sp := obs.Start(ctx, "flow.incremental")
+	defer sp.End()
+	mIncrEdits.Inc()
+	t0 := time.Now()
+	defer func() { mIncrNS.Observe(time.Since(t0).Nanoseconds()) }()
+
+	_, dsp := obs.Start(ctx, "diff")
+	diff := netlist.Diff(s.prev.Netlist, next)
+	dsp.SetStr("class", diff.Class())
+	dsp.End()
+	diffTime := time.Since(t0)
+	sp.SetStr("class", diff.Class())
+
+	switch {
+	case !s.valid || diff.Structural():
+		return s.rebuild(ctx, next, diff, diffTime)
+	case diff.Empty():
+		return &IncrementalResult{
+			Artifacts: s.prev,
+			Stats:     IncrementalStats{Class: diff.Class(), Path: "reuse", Diff: diffTime},
+		}, nil
+	default:
+		return s.splice(ctx, next, diff, diffTime)
+	}
+}
+
+// splice absorbs an INIT-only edit: transfer the previous placement and
+// routes onto the edited netlist, reprogram only the edited cells' frames,
+// and package the dirty frames as the delta.
+func (s *EditSession) splice(ctx context.Context, next *netlist.Design, diff *netlist.DesignDiff,
+	diffTime time.Duration) (*IncrementalResult, error) {
+	t0 := time.Now()
+	ctx, sp := obs.Start(ctx, "splice")
+	sp.SetInt("edits", int64(len(diff.InitEdits)))
+	defer sp.End()
+	mIncrSplices.Inc()
+
+	pd, err := phys.Transfer(s.prev.Phys, next)
+	if err != nil {
+		// A diff the transfer disagrees with (defensive; should not happen)
+		// is handled like any structural edit.
+		return s.rebuild(ctx, next, diff, diffTime)
+	}
+
+	s.mem.ResetDirty()
+	colHits, err := s.applyEdits(ctx, pd, next, diff.InitEdits)
+	if err != nil {
+		s.valid = false // memory may hold a partial edit
+		return nil, err
+	}
+	dirty := s.mem.DirtyFARs()
+	mIncrDirty.Observe(int64(len(dirty)))
+	sp.SetInt("dirty_frames", int64(len(dirty)))
+
+	var delta *jbitsdiff.Core
+	if len(dirty) > 0 {
+		if delta, err = jbitsdiff.FromDirty(s.mem); err != nil {
+			s.valid = false
+			return nil, err
+		}
+	}
+
+	a := &Artifacts{
+		Part:    s.part,
+		Netlist: next,
+		Phys:    pd,
+		UCF:     s.prev.UCF,
+		Times:   StageTimes{},
+	}
+	a.Bitstream = bitstream.WriteFull(s.mem)
+	a.Times.Bitgen = time.Since(t0)
+	if s.EmitFiles {
+		if a.XDL, err = xdl.Emit(pd); err != nil {
+			return nil, err
+		}
+		if a.NCD, err = ncd.Marshal(pd); err != nil {
+			return nil, err
+		}
+	}
+	s.prev = a
+
+	return &IncrementalResult{
+		Artifacts: a,
+		Delta:     delta,
+		Stats: IncrementalStats{
+			Class:        diff.Class(),
+			Path:         "splice",
+			InitEdits:    len(diff.InitEdits),
+			DirtyFrames:  len(dirty),
+			DirtyColumns: s.mem.DirtyCLBColumns(),
+			ColumnHits:   colHits,
+			Diff:         diffTime,
+			Apply:        time.Since(t0),
+		},
+	}, nil
+}
+
+// applyEdits writes the INIT edits into the session memory, one affected
+// column at a time. With a cache attached, each column's complete frame
+// payload is memoized under a sub-stage key covering the structure and the
+// column's Init values, so revisiting a configuration in a warm edit storm
+// replays the column's frames instead of reprogramming cells.
+func (s *EditSession) applyEdits(ctx context.Context, pd *phys.Design, next *netlist.Design,
+	edits []netlist.InitEdit) (colHits int, err error) {
+	c := cache.FromContext(ctx)
+	if c == nil {
+		return 0, bitgen.ReprogramInitEdits(s.mem, pd, edits)
+	}
+	// Group the edits by the CLB column holding the edited cell.
+	byCol := map[int][]netlist.InitEdit{}
+	var cols []int
+	for _, e := range edits {
+		cell, ok := next.Cell(e.Name)
+		if !ok {
+			return colHits, fmt.Errorf("flow: splice: no cell %q", e.Name)
+		}
+		site, placed := pd.Cells[cell]
+		if !placed {
+			return colHits, fmt.Errorf("flow: splice: cell %q unplaced", e.Name)
+		}
+		if _, seen := byCol[site.Col]; !seen {
+			cols = append(cols, site.Col)
+		}
+		byCol[site.Col] = append(byCol[site.Col], e)
+	}
+	sort.Ints(cols)
+	for _, col := range cols {
+		key := s.columnKey(next, col)
+		payload, hit, err := c.GetOrCompute("col", key, func() ([]byte, error) {
+			if err := bitgen.ReprogramInitEdits(s.mem, pd, byCol[col]); err != nil {
+				return nil, err
+			}
+			return s.columnPayload(col), nil
+		})
+		if err != nil {
+			return colHits, err
+		}
+		if hit {
+			colHits++
+			mIncrColHits.Inc()
+			if err := s.setColumnPayload(col, payload); err != nil {
+				return colHits, err
+			}
+		}
+	}
+	return colHits, nil
+}
+
+// columnKey is the sub-stage cache key of one CLB column's frame payload:
+// the session's structural base key plus the Init values of every cell
+// placed in the column.
+func (s *EditSession) columnKey(nl *netlist.Design, col int) cache.Key {
+	fields := make([]string, 0, 1+len(s.colIndex[col]))
+	fields = append(fields, fmt.Sprintf("col=%d", col))
+	for _, name := range s.colIndex[col] {
+		init := 0
+		if c, ok := nl.Cell(name); ok {
+			init = int(c.Init)
+		}
+		fields = append(fields, fmt.Sprintf("%s=%#x", name, init))
+	}
+	return cache.SubKey(s.colBase, "flow.col/v1", fields...)
+}
+
+// columnPayload serialises the column's frames (all minors, big-endian).
+func (s *EditSession) columnPayload(col int) []byte {
+	fw := s.part.FrameWords()
+	out := make([]byte, 0, device.FramesCLBCol*fw*4)
+	for minor := 0; minor < device.FramesCLBCol; minor++ {
+		far := device.MakeFAR(device.BlockCLB, s.part.CLBMajor(col), minor)
+		for _, w := range s.mem.Frame(far) {
+			out = binary.BigEndian.AppendUint32(out, w)
+		}
+	}
+	return out
+}
+
+// setColumnPayload replays a memoized column payload into the session
+// memory through SetFrame, so only genuinely changed frames turn dirty.
+func (s *EditSession) setColumnPayload(col int, payload []byte) error {
+	fw := s.part.FrameWords()
+	if len(payload) != device.FramesCLBCol*fw*4 {
+		return fmt.Errorf("flow: column payload %d bytes, want %d", len(payload), device.FramesCLBCol*fw*4)
+	}
+	words := make([]uint32, fw)
+	for minor := 0; minor < device.FramesCLBCol; minor++ {
+		far := device.MakeFAR(device.BlockCLB, s.part.CLBMajor(col), minor)
+		base := minor * fw * 4
+		for i := range words {
+			words[i] = binary.BigEndian.Uint32(payload[base+i*4:])
+		}
+		if err := s.mem.SetFrame(far, words); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuild absorbs a structural edit by re-running the full deterministic
+// stage sequence (cache-accelerated when a cache is attached) and rebasing
+// the session on the result. The delta against the previous configuration
+// is still reported when one exists.
+func (s *EditSession) rebuild(ctx context.Context, next *netlist.Design, diff *netlist.DesignDiff,
+	diffTime time.Duration) (*IncrementalResult, error) {
+	t0 := time.Now()
+	ctx, sp := obs.Start(ctx, "rebuild")
+	defer sp.End()
+	mIncrRebuilds.Inc()
+
+	a, err := run(ctx, s.part, next, s.cons, s.rfn, s.regionFP, s.opts, 0)
+	if err != nil {
+		return nil, fmt.Errorf("flow: incremental rebuild: %w", err)
+	}
+	oldMem := s.mem
+	if err := s.rebind(&a); err != nil {
+		return nil, err
+	}
+	var delta *jbitsdiff.Core
+	if oldMem != nil {
+		// Best-effort: a full-memory diff (the rebuild already dwarfs it).
+		if core, err := jbitsdiff.FromMemories(oldMem, s.mem); err == nil {
+			delta = core
+		}
+	}
+	return &IncrementalResult{
+		Artifacts: s.prev,
+		Delta:     delta,
+		Stats: IncrementalStats{
+			Class: diff.Class(),
+			Path:  "rebuild",
+			Diff:  diffTime,
+			Apply: time.Since(t0),
+		},
+	}, nil
+}
+
+// implementRegionFn derives Implement's router-constraint function and its
+// cache fingerprint from UCF constraints (see Implement).
+func implementRegionFn(cons *ucf.Constraints) (func(*netlist.Net) *frames.Region, string) {
+	if cons == nil || len(cons.Ranges) == 0 {
+		return nil, "none"
+	}
+	rfn := func(n *netlist.Net) *frames.Region {
+		if n.IsClock || n.Driver.Cell == nil || n.DriverPort != nil || len(n.SinkPorts) > 0 {
+			return nil
+		}
+		if rg, ok := cons.RegionFor(n.Driver.Cell.Name); ok {
+			r := rg
+			return &r
+		}
+		return nil
+	}
+	return rfn, "groups"
+}
+
+// Incremental is the one-shot entry point: re-implement next against a
+// previous implementation, splicing whatever the edit leaves untouched. It
+// is NewEditSession + one Edit with file emission on; callers absorbing an
+// edit stream should hold an EditSession instead so the configuration
+// memory persists across edits.
+func Incremental(ctx context.Context, prev *Artifacts, next *netlist.Design, cons *ucf.Constraints,
+	opts Options) (*IncrementalResult, error) {
+	s, err := NewEditSession(prev, cons, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.EmitFiles = true
+	return s.Edit(ctx, next)
+}

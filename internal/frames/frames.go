@@ -16,6 +16,11 @@ type Memory struct {
 	// data is flat storage: frame i (device order) occupies words
 	// [i*FrameWords, (i+1)*FrameWords).
 	data []uint32
+	// dirty, when non-nil, is a per-frame bitset of frames whose content has
+	// changed since tracking started (see dirty.go). Only the setter APIs
+	// (SetBit, SetFrame, Clear, CopyFrames) maintain it; writes through the
+	// aliasing Frame slice are invisible to tracking.
+	dirty []uint64
 }
 
 // Part aliases device.Part so callers of this package read naturally.
@@ -48,7 +53,11 @@ func (m *Memory) SetFrame(f device.FAR, words []uint32) error {
 	if len(words) != m.Part.FrameWords() {
 		return fmt.Errorf("frames: frame payload %d words, want %d", len(words), m.Part.FrameWords())
 	}
-	copy(m.Frame(f), words)
+	dst := m.Frame(f)
+	if m.dirty != nil && !wordsEqual(dst, words) {
+		m.markDirty(m.Part.FrameIndex(f))
+	}
+	copy(dst, words)
 	return nil
 }
 
@@ -60,17 +69,35 @@ func (m *Memory) Bit(bc device.BitCoord) bool {
 
 // SetBit writes one configuration bit.
 func (m *Memory) SetBit(bc device.BitCoord, v bool) {
-	w := m.Frame(bc.FAR)
+	i := m.Part.FrameIndex(bc.FAR)
+	fw := m.Part.FrameWords()
+	w := m.data[i*fw : (i+1)*fw]
 	mask := uint32(1) << (31 - bc.Bit%32)
+	word := &w[bc.Bit/32]
+	old := *word
 	if v {
-		w[bc.Bit/32] |= mask
+		*word |= mask
 	} else {
-		w[bc.Bit/32] &^= mask
+		*word &^= mask
+	}
+	if m.dirty != nil && *word != old {
+		m.markDirty(i)
 	}
 }
 
 // Clear zeroes the whole memory.
 func (m *Memory) Clear() {
+	if m.dirty != nil {
+		fw := m.Part.FrameWords()
+		for f := 0; f < m.Part.TotalFrames(); f++ {
+			for _, w := range m.data[f*fw : (f+1)*fw] {
+				if w != 0 {
+					m.markDirty(f)
+					break
+				}
+			}
+		}
+	}
 	for i := range m.data {
 		m.data[i] = 0
 	}
@@ -126,9 +153,23 @@ func (m *Memory) CopyFrames(src *Memory, fars []device.FAR) error {
 		return fmt.Errorf("frames: copy across parts %s vs %s", m.Part.Name, src.Part.Name)
 	}
 	for _, f := range fars {
-		copy(m.Frame(f), src.Frame(f))
+		dst := m.Frame(f)
+		s := src.Frame(f)
+		if m.dirty != nil && !wordsEqual(dst, s) {
+			m.markDirty(m.Part.FrameIndex(f))
+		}
+		copy(dst, s)
 	}
 	return nil
+}
+
+func wordsEqual(a, b []uint32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // NonZeroFrames returns the addresses of all frames with any bit set.

@@ -46,16 +46,44 @@ func Extract(reference, withCore []byte) (*Core, error) {
 	if _, err := bitstream.Apply(memB, withCore); err != nil {
 		return nil, fmt.Errorf("jbitsdiff: target: %w", err)
 	}
-	diff, err := memA.Diff(memB)
+	return FromMemories(memA, memB)
+}
+
+// FromMemories diffs two live configuration memories and packages the
+// differing frames of the second as a core. This is the delta engine Extract
+// is built on; the incremental flow calls it directly when it already holds
+// both memories and needs no bitstream round trip.
+func FromMemories(reference, withCore *frames.Memory) (*Core, error) {
+	diff, err := reference.Diff(withCore)
 	if err != nil {
 		return nil, err
 	}
 	if len(diff) == 0 {
 		return nil, fmt.Errorf("jbitsdiff: bitstreams are identical; no core to extract")
 	}
-	bs, err := bitstream.WritePartialForFARs(memB, diff)
+	return packageCore(withCore, diff)
+}
+
+// FromDirty packages a tracked memory's dirty frames as a core without any
+// memory-wide diff: the dirty set produced by frames tracking (see
+// frames.Memory.StartTracking) already names exactly the frames whose
+// content changed since tracking started, so the cost is proportional to
+// the delta, not the device.
+func FromDirty(mem *frames.Memory) (*Core, error) {
+	if !mem.Tracking() {
+		return nil, fmt.Errorf("jbitsdiff: memory is not tracking dirty frames")
+	}
+	dirty := mem.DirtyFARs()
+	if len(dirty) == 0 {
+		return nil, fmt.Errorf("jbitsdiff: no dirty frames; no core to extract")
+	}
+	return packageCore(mem, dirty)
+}
+
+func packageCore(mem *frames.Memory, fars []device.FAR) (*Core, error) {
+	bs, err := bitstream.WritePartialForFARs(mem, fars)
 	if err != nil {
 		return nil, err
 	}
-	return &Core{Part: p1, FARs: diff, Bitstream: bs}, nil
+	return &Core{Part: mem.Part, FARs: fars, Bitstream: bs}, nil
 }

@@ -1,4 +1,4 @@
-package jbitsdiff
+package jbitsdiff_test
 
 import (
 	"context"
@@ -9,6 +9,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/flow"
 	"repro/internal/frames"
+	"repro/internal/jbitsdiff"
 )
 
 func twoBuilds(t *testing.T) (*flow.BaseBuild, *flow.BaseBuild) {
@@ -35,7 +36,7 @@ func twoBuilds(t *testing.T) (*flow.BaseBuild, *flow.BaseBuild) {
 
 func TestExtractCore(t *testing.T) {
 	a, b := twoBuilds(t)
-	core, err := Extract(a.Bitstream, b.Bitstream)
+	core, err := jbitsdiff.Extract(a.Bitstream, b.Bitstream)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,19 +66,19 @@ func TestExtractCore(t *testing.T) {
 
 func TestExtractIdenticalInputs(t *testing.T) {
 	a, _ := twoBuilds(t)
-	if _, err := Extract(a.Bitstream, a.Bitstream); err == nil {
+	if _, err := jbitsdiff.Extract(a.Bitstream, a.Bitstream); err == nil {
 		t.Fatal("identical bitstreams produced a core")
 	}
 }
 
 func TestExtractErrors(t *testing.T) {
 	a, _ := twoBuilds(t)
-	if _, err := Extract([]byte{1, 2, 3, 4}, a.Bitstream); err == nil {
+	if _, err := jbitsdiff.Extract([]byte{1, 2, 3, 4}, a.Bitstream); err == nil {
 		t.Fatal("garbage reference accepted")
 	}
 	// Different parts.
 	other := flowBitstream(t, "XCV100")
-	if _, err := Extract(a.Bitstream, other); err == nil {
+	if _, err := jbitsdiff.Extract(a.Bitstream, other); err == nil {
 		t.Fatal("cross-part diff accepted")
 	}
 }

@@ -1,0 +1,89 @@
+package netlist
+
+import "fmt"
+
+// Clone returns a deep copy of the design: fresh Cell/Net/Port objects with
+// identical names, kinds, Init values, connectivity and construction order.
+// The copy fingerprints identically to the original and shares no pointers
+// with it, so edit sequences can mutate the clone while the original stays
+// bound to a previous physical design.
+func (d *Design) Clone() *Design {
+	out := NewDesign(d.Name)
+
+	netOf := make(map[*Net]*Net, len(d.Nets))
+	for _, n := range d.Nets {
+		nn := &Net{Name: n.Name, IsClock: n.IsClock}
+		out.Nets = append(out.Nets, nn)
+		out.netsByName[nn.Name] = nn
+		netOf[n] = nn
+	}
+	mapNet := func(n *Net) *Net {
+		if n == nil {
+			return nil
+		}
+		return netOf[n]
+	}
+
+	cellOf := make(map[*Cell]*Cell, len(d.Cells))
+	for _, c := range d.Cells {
+		nc := &Cell{
+			Name:  c.Name,
+			Kind:  c.Kind,
+			Init:  c.Init,
+			Clock: mapNet(c.Clock),
+			CE:    mapNet(c.CE),
+			Reset: mapNet(c.Reset),
+			Out:   mapNet(c.Out),
+		}
+		for _, in := range c.Inputs {
+			nc.Inputs = append(nc.Inputs, mapNet(in))
+		}
+		out.Cells = append(out.Cells, nc)
+		out.cellsByName[nc.Name] = nc
+		cellOf[c] = nc
+	}
+
+	portOf := make(map[*Port]*Port, len(d.Ports))
+	for _, p := range d.Ports {
+		np := &Port{Name: p.Name, Dir: p.Dir, Net: mapNet(p.Net), Pad: p.Pad}
+		out.Ports = append(out.Ports, np)
+		out.portsByName[np.Name] = np
+		portOf[p] = np
+	}
+
+	mapPin := func(pr PinRef) PinRef {
+		if pr.Cell == nil {
+			return pr
+		}
+		return PinRef{Cell: cellOf[pr.Cell], Pin: pr.Pin}
+	}
+	for i, n := range d.Nets {
+		nn := out.Nets[i]
+		nn.Driver = mapPin(n.Driver)
+		if n.DriverPort != nil {
+			nn.DriverPort = portOf[n.DriverPort]
+		}
+		for _, s := range n.Sinks {
+			nn.Sinks = append(nn.Sinks, mapPin(s))
+		}
+		for _, sp := range n.SinkPorts {
+			nn.SinkPorts = append(nn.SinkPorts, portOf[sp])
+		}
+	}
+	return out
+}
+
+// SetInit changes a cell's Init value in place: the truth table of a LUT4 or
+// the reset value (bit 0) of a DFF. This is the canonical INIT-only edit the
+// incremental flow splices without re-placing or re-routing.
+func (d *Design) SetInit(cellName string, init uint16) error {
+	c, ok := d.cellsByName[cellName]
+	if !ok {
+		return fmt.Errorf("netlist: no cell %q", cellName)
+	}
+	if c.Kind == KindDFF && init > 1 {
+		return fmt.Errorf("netlist: DFF %q init %#x out of range", cellName, init)
+	}
+	c.Init = init
+	return nil
+}

@@ -1,0 +1,68 @@
+package phys
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/netlist"
+)
+
+// Transfer rebinds a placed-and-routed design onto a structurally identical
+// netlist, matching cells, ports and nets by name. Unlike Bind, it tolerates
+// Init differences: placement and routing never consult Init (annealing cost
+// is pure wirelength, PathFinder sees only connectivity), so an INIT-only
+// edit leaves the physical solution valid bit-for-bit. This is the splice
+// step of the incremental flow — the previous run's placement and routes
+// carried over to the edited netlist in O(design) pointer rebinding, with no
+// serialisation round trip.
+//
+// The caller guarantees structural identity (the incremental engine checks
+// the netlist diff first); Transfer still verifies names, kinds and counts
+// so a misclassified edit surfaces as an error rather than a corrupt design.
+func Transfer(prev *Design, next *netlist.Design) (*Design, error) {
+	if prev.Netlist.Name != next.Name {
+		return nil, fmt.Errorf("phys: transfer: design %q vs %q", prev.Netlist.Name, next.Name)
+	}
+	if len(prev.Cells) != len(next.Cells) {
+		return nil, fmt.Errorf("phys: transfer: %d placed cells for %d netlist cells", len(prev.Cells), len(next.Cells))
+	}
+	if len(prev.Ports) != len(next.Ports) {
+		return nil, fmt.Errorf("phys: transfer: %d bound ports for %d netlist ports", len(prev.Ports), len(next.Ports))
+	}
+	d := NewDesign(prev.Part, next)
+	for pc, site := range prev.Cells {
+		nc, ok := next.Cell(pc.Name)
+		if !ok {
+			return nil, fmt.Errorf("phys: transfer: netlist has no cell %q", pc.Name)
+		}
+		if nc.Kind != pc.Kind {
+			return nil, fmt.Errorf("phys: transfer: cell %q kind %s vs %s", pc.Name, pc.Kind, nc.Kind)
+		}
+		d.Cells[nc] = site
+	}
+	for pp, pad := range prev.Ports {
+		np, ok := next.Port(pp.Name)
+		if !ok {
+			return nil, fmt.Errorf("phys: transfer: netlist has no port %q", pp.Name)
+		}
+		if np.Dir != pp.Dir {
+			return nil, fmt.Errorf("phys: transfer: port %q direction mismatch", pp.Name)
+		}
+		d.Ports[np] = pad
+	}
+	for pn, r := range prev.Routes {
+		nn, ok := next.Net(pn.Name)
+		if !ok {
+			return nil, fmt.Errorf("phys: transfer: netlist has no net %q", pn.Name)
+		}
+		d.Routes[nn] = &Route{
+			Net:    nn,
+			PIPs:   append([]device.PIP(nil), r.PIPs...),
+			Global: r.Global,
+		}
+	}
+	if err := d.CheckPlacement(); err != nil {
+		return nil, fmt.Errorf("phys: transfer: %w", err)
+	}
+	return d, nil
+}

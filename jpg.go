@@ -322,6 +322,57 @@ func Implement(ctx context.Context, p *Part, nl *Netlist, ucfText string, opts F
 	return flow.Implement(ctx, p, nl, cons, opts)
 }
 
+// Delta-driven incremental flow: absorb netlist edits by diffing against the
+// previous revision and splicing the untouched placement/routing/frames.
+type (
+	// NetlistDiff classifies a structural diff between two netlist
+	// revisions ("empty", "init-only", "structural").
+	NetlistDiff = netlist.DesignDiff
+	// EditSession is the stateful incremental engine over an edit stream.
+	EditSession = flow.EditSession
+	// IncrementalResult is the outcome of absorbing one edit.
+	IncrementalResult = flow.IncrementalResult
+	// EditLoop drives edit -> regenerate -> download against a project.
+	EditLoop = core.EditLoop
+	// EditResult bundles one trip around the edit loop.
+	EditResult = core.EditResult
+)
+
+// DiffNetlists diffs two netlist revisions.
+func DiffNetlists(prev, next *Netlist) *NetlistDiff { return netlist.Diff(prev, next) }
+
+// NewEditSession starts an incremental session from a previous
+// implementation, with optional UCF constraint text (which must be what prev
+// was implemented with).
+func NewEditSession(prev *Artifacts, ucfText string, opts FlowOptions) (*EditSession, error) {
+	var cons *ucf.Constraints
+	if ucfText != "" {
+		var err error
+		if cons, err = ucf.Parse(ucfText); err != nil {
+			return nil, err
+		}
+	}
+	return flow.NewEditSession(prev, cons, opts)
+}
+
+// Incremental re-implements an edited netlist against a previous
+// implementation in one shot, splicing whatever the edit leaves untouched.
+func Incremental(ctx context.Context, prev *Artifacts, next *Netlist, ucfText string, opts FlowOptions) (*IncrementalResult, error) {
+	var cons *ucf.Constraints
+	if ucfText != "" {
+		var err error
+		if cons, err = ucf.Parse(ucfText); err != nil {
+			return nil, err
+		}
+	}
+	return flow.Incremental(ctx, prev, next, cons, opts)
+}
+
+// NewEditLoop couples a project to an edit session (see core.EditLoop).
+func NewEditLoop(proj *Project, sess *EditSession, name string, opts GenerateOptions) *EditLoop {
+	return core.NewEditLoop(proj, sess, name, opts)
+}
+
 // JBits is the low-level resource API over configuration memory (LUTs,
 // slice control, PIPs, pads, block-RAM content).
 type JBits = jbits.JBits
