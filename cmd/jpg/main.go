@@ -11,6 +11,11 @@
 //	jpg -base base.bit -xdl variant.xdl -ucf variant.ucf -o partial.bit \
 //	    [-writeback rewritten.bit] [-floorplan] [-strict] [-incremental] \
 //	    [-download] [-v] [-faults spec] [-retries n] [-download-timeout d]
+//	jpg -serve :8080 [-log-level debug] [-cache] [-cache-dir DIR]
+//
+// -serve switches the binary into the jpgd HTTP service (see cmd/jpgd):
+// the same generation engine behind POST /v1/generate, with /metrics,
+// health probes, structured logs and a flight recorder.
 //
 // -incremental uses the flow's dirty-frame tracking to emit only the frames
 // whose content actually differs from the base — the smallest partial that
@@ -31,6 +36,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/bitfile"
@@ -38,7 +45,9 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/jpgd"
 	"repro/internal/obs"
+	jpglog "repro/internal/obs/log"
 	"repro/internal/xhwif"
 )
 
@@ -67,8 +76,13 @@ func run() error {
 		faultSpec = flag.String("faults", os.Getenv(faults.Env), "inject deterministic download faults (e.g. \"nth=2,mode=error,seed=7\"; default $JPG_FAULTS)")
 		retries   = flag.Int("retries", 0, "max download attempts through the reliability layer (0 = xhwif default; implies the layer when > 0)")
 		dlTimeout = flag.Duration("download-timeout", 0, "deadline for one download including retries (implies the reliability layer when > 0)")
+		serve     = flag.String("serve", "", "run as the jpgd HTTP service on this address (e.g. :8080) instead of a one-shot generation")
+		logLevel  = flag.String("log-level", "info", "service log level with -serve: debug, info, warn, error")
 	)
 	flag.Parse()
+	if *serve != "" {
+		return serveDaemon(*serve, *logLevel, *useCache, *cacheDir)
+	}
 	ctx := context.Background()
 	var col *obs.Collector
 	if *verbose {
@@ -201,6 +215,23 @@ func run() error {
 		fmt.Print(obs.Default.Snapshot().Render())
 	}
 	return nil
+}
+
+// serveDaemon runs the tool as the jpgd service (see cmd/jpgd and
+// internal/jpgd) — the same binary, switched into a long-lived server.
+func serveDaemon(addr, logLevel string, useCache bool, cacheDir string) error {
+	level, err := jpglog.ParseLevel(logLevel)
+	if err != nil {
+		return err
+	}
+	cfg := jpgd.Config{Logger: jpglog.New(os.Stderr, level)}
+	if useCache || cacheDir != "" {
+		cfg.Cache = cache.New(cache.Options{Dir: cacheDir, NoDisk: cacheDir == ""})
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("jpg serving on %s\n", addr)
+	return jpgd.New(cfg).ListenAndServe(ctx, addr)
 }
 
 func plural(n int64, one, many string) string {

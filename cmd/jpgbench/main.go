@@ -67,7 +67,9 @@ var all = []struct {
 // that touch the execution layer have a trajectory to compare against. The
 // record is self-describing: Version is the schema version (bumped on
 // incompatible change; see obs.ExportVersion) and Metrics snapshots the
-// process-wide registry after the pooled runs.
+// process-wide registry after the pooled runs — since version 4 each
+// histogram carries derived p50/p95/p99 upper-bound estimates, so the
+// record captures tail latency, not just mean and count.
 type perfRecord struct {
 	Version int    `json:"version"`
 	Tool    string `json:"tool"`

@@ -1,0 +1,75 @@
+// Command jpgd is the partial-bitstream generation service: the JPG tool
+// and the CAD flow behind it, served over HTTP with the operational surface
+// a deployment needs — structured JSON logs with per-request correlation
+// IDs, Prometheus metrics on /metrics, health/readiness probes, a
+// flight-recorder dump of recent spans and errors, and pprof.
+//
+// Usage:
+//
+//	jpgd [-addr :8080] [-log-level info] [-cache] [-cache-dir DIR]
+//	     [-flightrec 1024] [-span-logs] [-drain 0s]
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: /readyz flips to 503,
+// -drain passes, and in-flight requests finish before the process exits.
+//
+// Endpoints: see internal/jpgd.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/jpgd"
+	"repro/internal/obs/flightrec"
+	jpglog "repro/internal/obs/log"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jpgd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		useCache = flag.Bool("cache", cache.EnvEnabled(), "memoize CAD stages and partial generation across requests (default $JPG_CACHE/$JPG_CACHE_DIR)")
+		cacheDir = flag.String("cache-dir", os.Getenv(cache.EnvDir), "persist the cache on disk under this directory (implies -cache)")
+		frCap    = flag.Int("flightrec", flightrec.DefaultCapacity, "flight recorder capacity (recent spans kept)")
+		spanLogs = flag.Bool("span-logs", false, "also log every completed span (debug level, high volume)")
+		drain    = flag.Duration("drain", 0, "delay between failing readiness and starting shutdown")
+	)
+	flag.Parse()
+
+	level, err := jpglog.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	cfg := jpgd.Config{
+		Logger:     jpglog.New(os.Stderr, level),
+		Recorder:   flightrec.New(*frCap),
+		LogSpans:   *spanLogs,
+		DrainDelay: *drain,
+	}
+	if *useCache || *cacheDir != "" {
+		cfg.Cache = cache.New(cache.Options{Dir: *cacheDir, NoDisk: *cacheDir == ""})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := jpgd.New(cfg)
+	fmt.Printf("jpgd listening on %s\n", *addr)
+	start := time.Now()
+	err = srv.ListenAndServe(ctx, *addr)
+	fmt.Printf("jpgd stopped after %v\n", time.Since(start).Round(time.Millisecond))
+	return err
+}

@@ -516,6 +516,12 @@ func (alwaysFail) Download([]byte) (xhwif.DownloadStats, error) {
 	return xhwif.DownloadStats{}, context.DeadlineExceeded
 }
 
+// DownloadCtx overrides the method promoted from the embedded Board so the
+// link stays dead on the context-aware path too.
+func (a alwaysFail) DownloadCtx(context.Context, []byte) (xhwif.DownloadStats, error) {
+	return a.Download(nil)
+}
+
 // TestGenerateAndDownloadCtxCancellation checks the context plumbing and the
 // transactional contract: a cancelled context aborts before touching the
 // board, and a failed download leaves the project view untouched so it never

@@ -20,6 +20,7 @@ import (
 	"repro/internal/jbits"
 	"repro/internal/ncd"
 	"repro/internal/obs"
+	jpglog "repro/internal/obs/log"
 	"repro/internal/parallel"
 	"repro/internal/phys"
 	"repro/internal/ucf"
@@ -208,8 +209,21 @@ var (
 // Cache attached, non-write-back generations are memoized on the (base
 // configuration, module content, options) triple.
 func (p *Project) GeneratePartial(m *Module, opts GenerateOptions) (*Result, error) {
-	res, err := p.generatePartial(m, opts)
+	return p.GeneratePartialCtx(context.Background(), m, opts)
+}
+
+// GeneratePartialCtx is GeneratePartial under a context, the service entry
+// point: the generation runs as a "core.partial" span and every cache and
+// log event it emits inherits the context's collector, logger and
+// correlation ID.
+func (p *Project) GeneratePartialCtx(ctx context.Context, m *Module, opts GenerateOptions) (res *Result, err error) {
+	_, sp := obs.Start(ctx, "core.partial")
+	sp.SetStr("module", m.Name)
+	defer func() { sp.EndErr(err) }()
+	res, err = p.generatePartial(ctx, m, opts)
 	if err != nil {
+		obs.CountError("partial")
+		jpglog.Warn(ctx, "core.partial", "module", m.Name, "error", err.Error())
 		return nil, err
 	}
 	if opts.WriteBack {
@@ -221,6 +235,8 @@ func (p *Project) GeneratePartial(m *Module, opts GenerateOptions) (*Result, err
 	mPartialBytes.Add(int64(len(res.Bitstream)))
 	mPartialBytesHit.Observe(int64(len(res.Bitstream)))
 	mRegionFraction.Observe(int64(100 * len(res.FARs) / p.Part.TotalFrames()))
+	jpglog.Info(ctx, "core.partial", "module", m.Name,
+		"bytes", len(res.Bitstream), "frames", len(res.FARs), "changed", res.FramesChanged)
 	return res, nil
 }
 
@@ -228,7 +244,7 @@ func (p *Project) GeneratePartial(m *Module, opts GenerateOptions) (*Result, err
 // cache applies only when the base and module fingerprints are both known
 // and the generation does not write back (a write-back mutates project
 // state, which a cached result could not replay).
-func (p *Project) generatePartial(m *Module, opts GenerateOptions) (*Result, error) {
+func (p *Project) generatePartial(ctx context.Context, m *Module, opts GenerateOptions) (*Result, error) {
 	c := p.Cache
 	if c == nil || opts.WriteBack || p.baseFP == "" || m.fp == "" {
 		return p.computePartial(m, opts)
@@ -241,7 +257,7 @@ func (p *Project) generatePartial(m *Module, opts GenerateOptions) (*Result, err
 	h.Bool("compress", opts.Compress)
 	h.Bool("delta", opts.Delta)
 	k := h.Sum()
-	data, _, err := c.GetOrCompute("partial", k, func() ([]byte, error) {
+	data, hit, err := c.GetOrCompute("partial", k, func() ([]byte, error) {
 		res, err := p.computePartial(m, opts)
 		if err != nil {
 			return nil, err
@@ -251,6 +267,7 @@ func (p *Project) generatePartial(m *Module, opts GenerateOptions) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	jpglog.Info(ctx, "cache", jpglog.FieldStage, "partial", "result", cacheResult(hit), "module", m.Name)
 	res, err := decodeResult(data)
 	if err != nil {
 		// Undecodable entry (stale encoding, collision): drop it and
@@ -259,6 +276,14 @@ func (p *Project) generatePartial(m *Module, opts GenerateOptions) (*Result, err
 		return p.computePartial(m, opts)
 	}
 	return res, nil
+}
+
+// cacheResult spells a cache lookup outcome for log events.
+func cacheResult(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
 }
 
 // advanceBaseFP folds a write-back into the base fingerprint so memoized
@@ -353,8 +378,8 @@ func (p *Project) GeneratePartialAllCtx(ctx context.Context, ms []*Module, opts 
 	if opts.WriteBack {
 		return nil, fmt.Errorf("core: GeneratePartialAll cannot WriteBack (write-backs are order-dependent); generate serially")
 	}
-	return parallel.MapCtx(ctx, ms, func(_ context.Context, _ int, m *Module) (*Result, error) {
-		return p.GeneratePartial(m, opts)
+	return parallel.MapCtx(ctx, ms, func(ctx context.Context, _ int, m *Module) (*Result, error) {
+		return p.GeneratePartialCtx(ctx, m, opts)
 	}, popts...)
 }
 
@@ -386,19 +411,27 @@ func (p *Project) GenerateAndDownloadCtx(ctx context.Context, m *Module, board x
 	// Generate without writing back: the base must only advance once the
 	// device has accepted the stream.
 	opts.WriteBack = false
-	res, err := p.GeneratePartial(m, opts)
+	res, err := p.GeneratePartialCtx(ctx, m, opts)
 	if err != nil {
 		return nil, xhwif.DownloadStats{}, err
 	}
 	var ds xhwif.DownloadStats
+	_, sp := obs.Start(ctx, "core.download")
+	sp.SetStr("module", m.Name)
 	if cd, ok := board.(ContextDownloader); ok {
 		ds, err = cd.DownloadCtx(ctx, res.Bitstream)
 	} else {
 		ds, err = board.Download(res.Bitstream)
 	}
+	sp.EndErr(err)
 	if err != nil {
+		obs.CountError("download")
+		jpglog.Warn(ctx, "download", "module", m.Name, "bytes", len(res.Bitstream),
+			"attempts", ds.Attempts, "error", err.Error())
 		return res, ds, fmt.Errorf("core: download: %w", err)
 	}
+	jpglog.Info(ctx, "download", "module", m.Name, "bytes", len(res.Bitstream),
+		"frames", ds.FramesWritten, "attempts", ds.Attempts)
 	// Commit: replay the accepted stream onto the base, which reproduces
 	// exactly the state the device now holds (the partial carries every
 	// frame of its columns).

@@ -9,6 +9,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/frames"
 	"repro/internal/obs"
+	jpglog "repro/internal/obs/log"
 	"repro/internal/xhwif"
 )
 
@@ -171,6 +173,7 @@ type Injector struct {
 }
 
 var _ xhwif.HWIF = (*Injector)(nil)
+var _ xhwif.ContextDownloader = (*Injector)(nil)
 
 // Wrap returns an injector over inner.
 func Wrap(inner xhwif.HWIF, spec Spec) *Injector {
@@ -223,6 +226,14 @@ func (in *Injector) ExecuteReadback(request []byte) ([]uint32, error) {
 // transactional behaviour decides what a perturbed stream does to the
 // device (Board rolls back).
 func (in *Injector) Download(bs []byte) (xhwif.DownloadStats, error) {
+	return in.DownloadCtx(context.Background(), bs)
+}
+
+// DownloadCtx implements xhwif.ContextDownloader: Download with the context
+// forwarded to the inner HWIF (when it supports contexts) and one structured
+// log event per injected fault, so a request's logs show exactly which
+// attempt was perturbed and how.
+func (in *Injector) DownloadCtx(ctx context.Context, bs []byte) (xhwif.DownloadStats, error) {
 	in.mu.Lock()
 	in.attempts++
 	n := in.attempts
@@ -238,21 +249,29 @@ func (in *Injector) Download(bs []byte) (xhwif.DownloadStats, error) {
 	}
 	in.mu.Unlock()
 
+	download := func(b []byte) (xhwif.DownloadStats, error) {
+		if cd, ok := in.inner.(xhwif.ContextDownloader); ok {
+			return cd.DownloadCtx(ctx, b)
+		}
+		return in.inner.Download(b)
+	}
+
 	mAttempts.Inc()
 	if in.spec.Latency > 0 {
 		mLatencyNs.Observe(in.spec.Latency.Nanoseconds())
 		time.Sleep(in.spec.Latency)
 	}
 	if !inject {
-		return in.inner.Download(bs)
+		return download(bs)
 	}
 	mInjected.Inc()
+	jpglog.Warn(ctx, "fault.injected", "mode", in.spec.Mode, "attempt", n, "bytes", len(bs))
 	switch in.spec.Mode {
 	case ModeTruncate:
 		// Word-aligned cut around the midpoint lands inside the FDRI frame
 		// run of any realistic stream, which the port rejects.
 		cut := (len(bs) / 2) &^ 3
-		ds, err := in.inner.Download(bs[:cut])
+		ds, err := download(bs[:cut])
 		if err == nil {
 			err = fmt.Errorf("faults: truncated stream unexpectedly accepted")
 		}
@@ -263,7 +282,7 @@ func (in *Injector) Download(bs []byte) (xhwif.DownloadStats, error) {
 		if len(dirty) > 0 {
 			dirty[corruptAt] ^= 0x40
 		}
-		ds, err := in.inner.Download(dirty)
+		ds, err := download(dirty)
 		if err == nil {
 			// The flip slipped past the port's checks (e.g. it landed in a
 			// pad word); surface the injection so a reliability layer

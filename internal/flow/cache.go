@@ -219,22 +219,28 @@ func runCached(ctx context.Context, c *cache.Cache, p *device.Part, nl *netlist.
 			}
 		}
 		sp.SetStr("cache", hitStr(placeHit))
-		sp.End()
+		sp.EndErr(err)
+		logCache(ctx, "place", placeHit)
 		if err != nil {
+			obs.CountError("place")
 			return nil, err
 		}
 		a.Times.Place = time.Since(t0)
 		mPlaceNS.Observe(a.Times.Place.Nanoseconds())
+		logStage(ctx, "place", a.Times.Place)
 
 		t0 = time.Now()
 		_, rsp := obs.Start(ctx, "route")
 		err = route.Route(pd, route.Options{RegionForNet: rfn})
 		rsp.SetStr("cache", "miss")
-		rsp.End()
+		rsp.EndErr(err)
+		logCache(ctx, "route", false)
 		if err != nil {
+			obs.CountError("route")
 			return nil, err
 		}
 		a.Times.Route = time.Since(t0)
+		logStage(ctx, "route", a.Times.Route)
 		return ncd.Marshal(pd)
 	})
 	if err != nil {
@@ -253,9 +259,11 @@ func runCached(ctx context.Context, c *cache.Cache, p *device.Part, nl *netlist.
 		_, sp := obs.Start(ctx, "place")
 		sp.SetStr("cache", hitStr(true))
 		sp.End()
+		logCache(ctx, "place", true)
 		_, sp = obs.Start(ctx, "route")
 		sp.SetStr("cache", hitStr(routeHit))
 		sp.End()
+		logCache(ctx, "route", routeHit)
 		mPlaceNS.Observe(a.Times.Place.Nanoseconds())
 		mRouteNS.Observe(a.Times.Route.Nanoseconds())
 	} else {
@@ -269,13 +277,16 @@ func runCached(ctx context.Context, c *cache.Cache, p *device.Part, nl *netlist.
 		return bitgen.FullBitstream(pd)
 	})
 	sp.SetStr("cache", hitStr(bgHit))
-	sp.End()
+	sp.EndErr(err)
+	logCache(ctx, "bitgen", bgHit)
 	if err != nil {
+		obs.CountError("bitgen")
 		return a, err
 	}
 	a.Times.Bitgen = time.Since(t0)
 	a.Bitstream = bs
 	mBitgenNS.Observe(a.Times.Bitgen.Nanoseconds())
+	logStage(ctx, "bitgen", a.Times.Bitgen)
 
 	_, sp = obs.Start(ctx, "emit")
 	defer sp.End()

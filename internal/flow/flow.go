@@ -21,6 +21,7 @@ import (
 	"repro/internal/ncd"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	jpglog "repro/internal/obs/log"
 	"repro/internal/parallel"
 	"repro/internal/phys"
 	"repro/internal/place"
@@ -42,6 +43,18 @@ var (
 	mVariantBuilds = obs.GetCounter("flow.variant_builds")
 	mFullBuilds    = obs.GetCounter("flow.full_builds")
 )
+
+// logStage emits one structured event per completed CAD stage — with a
+// request-scoped logger attached (jpgd), every stage of a build shares the
+// request's correlation ID. No-op without a logger on the context.
+func logStage(ctx context.Context, stage string, dur time.Duration) {
+	jpglog.Info(ctx, "flow.stage", jpglog.FieldStage, stage, "dur_us", dur.Microseconds())
+}
+
+// logCache emits one structured event per stage-cache lookup.
+func logCache(ctx context.Context, stage string, hit bool) {
+	jpglog.Info(ctx, "cache", jpglog.FieldStage, stage, "result", hitStr(hit))
+}
 
 // StageTimes records per-stage wall-clock times of one CAD run.
 type StageTimes struct {
@@ -271,12 +284,14 @@ func runStages(ctx context.Context, p *device.Part, nl *netlist.Design, cons *uc
 	t0 := time.Now()
 	_, sp := obs.Start(ctx, "place")
 	pd, err := place.Place(p, nl, place.Options{Seed: opts.Seed, Constraints: cons, Effort: opts.Effort, Guide: opts.Guide})
-	sp.End()
+	sp.EndErr(err)
 	if err != nil {
+		obs.CountError("place")
 		return a, err
 	}
 	a.Times.Place = time.Since(t0)
 	mPlaceNS.Observe(a.Times.Place.Nanoseconds())
+	logStage(ctx, "place", a.Times.Place)
 
 	// A cancelled build stops at the next stage boundary: in-flight stages
 	// are CPU-bound and uninterruptible, but no new stage starts once the
@@ -287,12 +302,14 @@ func runStages(ctx context.Context, p *device.Part, nl *netlist.Design, cons *uc
 	t0 = time.Now()
 	_, sp = obs.Start(ctx, "route")
 	err = route.Route(pd, route.Options{RegionForNet: rfn})
-	sp.End()
+	sp.EndErr(err)
 	if err != nil {
+		obs.CountError("route")
 		return a, err
 	}
 	a.Times.Route = time.Since(t0)
 	a.Phys = pd
+	logStage(ctx, "route", a.Times.Route)
 
 	if err := ctx.Err(); err != nil {
 		return a, err
@@ -300,14 +317,16 @@ func runStages(ctx context.Context, p *device.Part, nl *netlist.Design, cons *uc
 	t0 = time.Now()
 	_, sp = obs.Start(ctx, "bitgen")
 	bs, err := bitgen.FullBitstream(pd)
-	sp.End()
+	sp.EndErr(err)
 	if err != nil {
+		obs.CountError("bitgen")
 		return a, err
 	}
 	a.Times.Bitgen = time.Since(t0)
 	a.Bitstream = bs
 	mRouteNS.Observe(a.Times.Route.Nanoseconds())
 	mBitgenNS.Observe(a.Times.Bitgen.Nanoseconds())
+	logStage(ctx, "bitgen", a.Times.Bitgen)
 
 	_, sp = obs.Start(ctx, "emit")
 	defer sp.End()
@@ -337,18 +356,20 @@ func BuildBase(ctx context.Context, p *device.Part, insts []designs.Instance, op
 // must keep regions and pads stable across rebuilds (e.g. producing the
 // complete per-variant bitstreams the PARBIT/JBitsDiff methodologies need).
 func BuildBaseWith(ctx context.Context, p *device.Part, insts []designs.Instance, cons *ucf.Constraints,
-	regions map[string]frames.Region, opts Options) (*BaseBuild, error) {
+	regions map[string]frames.Region, opts Options) (bb *BaseBuild, err error) {
 	ctx, sp := obs.Start(ctx, "flow.base")
-	defer sp.End()
+	defer func() { sp.EndErr(err) }()
 	mBaseBuilds.Inc()
 	t0 := time.Now()
 	_, ms := obs.Start(ctx, "map")
 	nl, err := mapBaseDesign(ctx, "base", insts)
-	ms.End()
+	ms.EndErr(err)
 	if err != nil {
+		obs.CountError("map")
 		return nil, err
 	}
 	synthTime := time.Since(t0)
+	logStage(ctx, "map", synthTime)
 
 	a, err := run(ctx, p, nl, cons, regionForNet(regions), regionsFingerprint(regions), opts, synthTime)
 	if err != nil {
@@ -419,18 +440,19 @@ func BuildVariantUCF(ctx context.Context, p *device.Part, baseCons *ucf.Constrai
 }
 
 func buildVariant(ctx context.Context, part *device.Part, rg frames.Region, basePads map[string]string,
-	prefix string, gen designs.Generator, opts Options) (*Artifacts, error) {
+	prefix string, gen designs.Generator, opts Options) (out *Artifacts, err error) {
 	instBase := strings.TrimSuffix(prefix, "/")
 	ctx, sp := obs.Start(ctx, "flow.variant")
 	sp.SetStr("module", prefix+gen.Name())
-	defer sp.End()
+	defer func() { sp.EndErr(err) }()
 	mVariantBuilds.Inc()
 
 	t0 := time.Now()
 	_, ms := obs.Start(ctx, "map")
 	nl, err := mapStandalone(ctx, gen, instBase+"_"+gen.Name(), prefix)
-	ms.End()
+	ms.EndErr(err)
 	if err != nil {
+		obs.CountError("map")
 		return nil, err
 	}
 	cons := ucf.New()
@@ -458,6 +480,7 @@ func buildVariant(ctx context.Context, part *device.Part, rg frames.Region, base
 		}
 	}
 	synthTime := time.Since(t0)
+	logStage(ctx, "map", synthTime)
 
 	rfn := func(n *netlist.Net) *frames.Region {
 		if n.IsClock {
@@ -479,10 +502,10 @@ func buildVariant(ctx context.Context, part *device.Part, rg frames.Region, base
 // nets inside a constrained AREA_GROUP are routed within the group's region;
 // port-connected nets roam free (a generic UCF does not plan pad adjacency
 // the way the partial-reconfiguration floorplanner does).
-func Implement(ctx context.Context, p *device.Part, nl *netlist.Design, cons *ucf.Constraints, opts Options) (*Artifacts, error) {
+func Implement(ctx context.Context, p *device.Part, nl *netlist.Design, cons *ucf.Constraints, opts Options) (out *Artifacts, err error) {
 	rfn, regionFP := implementRegionFn(cons)
 	ctx, sp := obs.Start(ctx, "flow.implement")
-	defer sp.End()
+	defer func() { sp.EndErr(err) }()
 	a, err := run(ctx, p, nl, cons, rfn, regionFP, opts, 0)
 	if err != nil {
 		return nil, fmt.Errorf("flow: implement: %w", err)
@@ -492,18 +515,20 @@ func Implement(ctx context.Context, p *device.Part, nl *netlist.Design, cons *uc
 
 // BuildFull implements a complete design with the conventional flow (no
 // floorplan constraints) — the baseline the paper compares against.
-func BuildFull(ctx context.Context, p *device.Part, insts []designs.Instance, opts Options) (*Artifacts, error) {
+func BuildFull(ctx context.Context, p *device.Part, insts []designs.Instance, opts Options) (out *Artifacts, err error) {
 	ctx, sp := obs.Start(ctx, "flow.full")
-	defer sp.End()
+	defer func() { sp.EndErr(err) }()
 	mFullBuilds.Inc()
 	t0 := time.Now()
 	_, ms := obs.Start(ctx, "map")
 	nl, err := mapBaseDesign(ctx, "full", insts)
-	ms.End()
+	ms.EndErr(err)
 	if err != nil {
+		obs.CountError("map")
 		return nil, err
 	}
 	synthTime := time.Since(t0)
+	logStage(ctx, "map", synthTime)
 	a, err := run(ctx, p, nl, nil, nil, "none", opts, synthTime)
 	if err != nil {
 		return nil, fmt.Errorf("flow: full build: %w", err)

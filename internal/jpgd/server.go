@@ -1,0 +1,638 @@
+// Package jpgd is the live service surface of the reproduction: an HTTP
+// daemon exposing the JPG tool (partial-bitstream generation over a base
+// configuration) and the CAD flow behind it, together with the operational
+// endpoints a production deployment needs — Prometheus metrics, health and
+// readiness probes, a flight-recorder dump and pprof.
+//
+// Every request runs under one correlation ID (minted per request or
+// adopted from X-Request-ID), a request-scoped structured logger, and a
+// per-request span collector whose completed spans feed the process-wide
+// flight recorder. A generate request therefore leaves a single-ID trail
+// through every layer it touches: HTTP entry, flow stages, cache lookups,
+// partial generation, board downloads and fault injections.
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness (always 200 while the process serves)
+//	GET  /readyz           readiness (503 while starting or draining)
+//	GET  /metrics          Prometheus text exposition of the obs registry
+//	GET  /debug/flightrec  recent spans and errors (?format=chrome for a trace)
+//	GET  /debug/pprof/*    Go runtime profiling
+//	POST /v1/generate      partial bitstream from base + XDL/UCF (JPG-over-HTTP)
+//	POST /v1/build         CAD build: base design, optional variant + partial
+package jpgd
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bitfile"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/faults"
+	"repro/internal/flow"
+	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
+	jpglog "repro/internal/obs/log"
+	"repro/internal/obs/prom"
+	"repro/internal/xhwif"
+)
+
+// DefaultMaxBodyBytes bounds request bodies (base bitstreams dominate).
+const DefaultMaxBodyBytes = 64 << 20
+
+// Config assembles a Server.
+type Config struct {
+	// Logger receives every structured event. nil disables logging.
+	Logger *slog.Logger
+	// Registry is the metrics registry /metrics exposes (obs.Default when
+	// nil — the registry every instrumented package reports to).
+	Registry *obs.Registry
+	// Recorder is the flight recorder completed spans and request errors
+	// feed (a DefaultCapacity recorder when nil).
+	Recorder *flightrec.Recorder
+	// Cache, when set, memoizes CAD stages and partial generation across
+	// requests (attached to each request context).
+	Cache *cache.Cache
+	// MaxBodyBytes bounds request bodies (DefaultMaxBodyBytes when <= 0).
+	MaxBodyBytes int64
+	// LogSpans also emits every completed span as a debug-level log line
+	// through the request's logger (high volume; spans always reach the
+	// flight recorder regardless).
+	LogSpans bool
+	// DrainDelay is how long readiness reports not-ready before shutdown
+	// starts, giving load balancers time to stop routing (0 = immediate).
+	DrainDelay time.Duration
+	// ShutdownTimeout bounds the graceful drain of in-flight requests
+	// (default 10s).
+	ShutdownTimeout time.Duration
+}
+
+// Server is the jpgd HTTP service.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	rec   *flightrec.Recorder
+	ready atomic.Bool
+
+	mRequests  *obs.Counter
+	mErrors    *obs.Counter
+	mInflight  *obs.Gauge
+	mRequestNS *obs.Histogram
+	mGenerates *obs.Counter
+	mBuilds    *obs.Counter
+}
+
+// New assembles a server from the config.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = flightrec.New(0)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.ShutdownTimeout <= 0 {
+		cfg.ShutdownTimeout = 10 * time.Second
+	}
+	s := &Server{
+		cfg: cfg,
+		reg: cfg.Registry,
+		rec: cfg.Recorder,
+
+		mRequests:  cfg.Registry.GetCounter("jpgd.requests"),
+		mErrors:    cfg.Registry.GetCounter("jpgd.http_errors"),
+		mInflight:  cfg.Registry.GetGauge("jpgd.inflight"),
+		mRequestNS: cfg.Registry.GetHistogram("jpgd.request_ns"),
+		mGenerates: cfg.Registry.GetCounter("jpgd.generates"),
+		mBuilds:    cfg.Registry.GetCounter("jpgd.builds"),
+	}
+	s.ready.Store(true)
+	return s
+}
+
+// Recorder returns the server's flight recorder.
+func (s *Server) Recorder() *flightrec.Recorder { return s.rec }
+
+// SetReady flips the /readyz state (false while starting or draining).
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Handler builds the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.Handle("/metrics", prom.Handler(s.reg))
+	mux.HandleFunc("/debug/flightrec", s.handleFlightrec)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/v1/generate", s.instrument("generate", s.handleGenerate))
+	mux.Handle("/v1/build", s.instrument("build", s.handleBuild))
+	return mux
+}
+
+// statusWriter captures the response status for the access log and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// multiSink fans completed spans out to several sinks (the flight recorder
+// always, the span-to-log bridge when enabled).
+type multiSink []obs.Sink
+
+func (m multiSink) Record(rec obs.SpanRecord) {
+	for _, s := range m {
+		s.Record(rec)
+	}
+}
+
+// instrument wraps an API handler with the per-request observability stack:
+// correlation ID (minted or adopted from X-Request-ID), request-bound
+// logger, per-request span collector feeding the flight recorder, request
+// span, metrics and the access log.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		ctx := r.Context()
+
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = jpglog.NewRequestID()
+		}
+		ctx = jpglog.Attach(ctx, s.cfg.Logger)
+		ctx = jpglog.WithRequestID(ctx, id)
+
+		sinks := multiSink{s.rec}
+		if s.cfg.LogSpans {
+			if l := jpglog.From(ctx); l != nil {
+				sinks = append(sinks, jpglog.SpanSink(l))
+			}
+		}
+		col := obs.New(obs.WithSink(sinks))
+		ctx = col.Attach(ctx)
+		if s.cfg.Cache != nil {
+			ctx = cache.With(ctx, s.cfg.Cache)
+		}
+
+		ctx, sp := obs.Start(ctx, "jpgd.request")
+		sp.SetStr("request_id", id)
+		sp.SetStr("route", route)
+
+		s.mRequests.Inc()
+		s.mInflight.Add(1)
+		defer s.mInflight.Add(-1)
+
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set("X-Request-ID", id)
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		h(sw, r.WithContext(ctx))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+
+		dur := time.Since(t0)
+		sp.SetInt("status", int64(sw.status))
+		if sw.status >= 400 {
+			s.mErrors.Inc()
+			sp.Fail(fmt.Errorf("http %d", sw.status))
+		}
+		sp.End()
+		s.mRequestNS.Observe(dur.Nanoseconds())
+		jpglog.Info(ctx, "http.request", "method", r.Method, "path", r.URL.Path,
+			"route", route, "status", sw.status, "dur_us", dur.Microseconds(), "bytes", sw.bytes)
+	})
+}
+
+// apiError is the JSON error envelope of the v1 endpoints.
+type apiError struct {
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// fail writes the error envelope and records the failure in the flight
+// recorder (status chooses the HTTP code; 4xx are client mistakes, 5xx are
+// generation failures worth a post-mortem).
+func (s *Server) fail(ctx context.Context, w http.ResponseWriter, route string, status int, err error) {
+	id := jpglog.RequestIDFrom(ctx)
+	s.rec.RecordError("jpgd."+route, id, err)
+	jpglog.Warn(ctx, "request.failed", "route", route, "status", status, "error", err.Error())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: err.Error(), RequestID: id})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return fmt.Errorf("request body exceeds %d bytes", maxErr.Limit)
+		}
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// handleFlightrec dumps the flight recorder: JSON by default, a Chrome
+// trace with ?format=chrome.
+func (s *Server) handleFlightrec(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="jpgd-flightrec.trace.json"`)
+		if err := s.rec.WriteChromeTrace(w, "jpgd"); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	writeJSON(w, s.rec.Dump())
+}
+
+// GenerateRequest is the /v1/generate body: the JPG tool's inputs as one
+// JSON document. Base is the base design's complete bitstream (raw or .bit
+// container), base64-encoded; XDL and UCF are the variant's files from its
+// own CAD run.
+type GenerateRequest struct {
+	Base     string `json:"base"`
+	XDL      string `json:"xdl"`
+	UCF      string `json:"ucf"`
+	Name     string `json:"name,omitempty"`
+	Strict   bool   `json:"strict,omitempty"`
+	Compress bool   `json:"compress,omitempty"`
+	Delta    bool   `json:"delta,omitempty"`
+	// Download, when present, also downloads the partial to a simulated
+	// board configured with the base design, through the reliability layer.
+	Download *DownloadRequest `json:"download,omitempty"`
+}
+
+// DownloadRequest tunes the simulated download of a generate request.
+type DownloadRequest struct {
+	// Retries caps download attempts (0 = xhwif default).
+	Retries int `json:"retries,omitempty"`
+	// TimeoutMS bounds the download end to end (0 = none).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Verify reads touched frames back after the download.
+	Verify bool `json:"verify,omitempty"`
+	// Faults injects deterministic link faults (faults.Parse syntax).
+	Faults string `json:"faults,omitempty"`
+}
+
+// DownloadResult reports the simulated download.
+type DownloadResult struct {
+	Attempts      int   `json:"attempts"`
+	FramesWritten int   `json:"frames_written"`
+	ModelTimeUS   int64 `json:"model_time_us"`
+}
+
+// GenerateResponse is the /v1/generate result. Bitstream is base64 (JSON's
+// []byte encoding).
+type GenerateResponse struct {
+	RequestID     string          `json:"request_id"`
+	Part          string          `json:"part"`
+	Bitstream     []byte          `json:"bitstream"`
+	Bytes         int             `json:"bytes"`
+	Frames        int             `json:"frames"`
+	FramesChanged int             `json:"frames_changed"`
+	Region        string          `json:"region"`
+	Download      *DownloadResult `json:"download,omitempty"`
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if r.Method != http.MethodPost {
+		s.fail(ctx, w, "generate", http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req GenerateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(ctx, w, "generate", http.StatusBadRequest, err)
+		return
+	}
+	if req.Base == "" || req.XDL == "" || req.UCF == "" {
+		s.fail(ctx, w, "generate", http.StatusBadRequest, fmt.Errorf("base, xdl and ucf are required"))
+		return
+	}
+	baseFile, err := base64.StdEncoding.DecodeString(req.Base)
+	if err != nil {
+		s.fail(ctx, w, "generate", http.StatusBadRequest, fmt.Errorf("base is not base64: %w", err))
+		return
+	}
+	baseBS, _, err := bitfile.Unwrap(baseFile)
+	if err != nil {
+		s.fail(ctx, w, "generate", http.StatusBadRequest, err)
+		return
+	}
+	proj, err := core.NewProject(baseBS)
+	if err != nil {
+		s.fail(ctx, w, "generate", http.StatusBadRequest, err)
+		return
+	}
+	proj.Cache = s.cfg.Cache
+	name := req.Name
+	if name == "" {
+		name = "module"
+	}
+	m, err := proj.AddModule(name, req.XDL, req.UCF)
+	if err != nil {
+		s.fail(ctx, w, "generate", http.StatusBadRequest, err)
+		return
+	}
+	opts := core.GenerateOptions{Strict: req.Strict, Compress: req.Compress, Delta: req.Delta}
+
+	resp := GenerateResponse{RequestID: jpglog.RequestIDFrom(ctx), Part: proj.Part.Name}
+	var res *core.Result
+	if req.Download != nil {
+		board, err := s.boardWithBase(ctx, proj.Part, baseBS)
+		if err != nil {
+			s.fail(ctx, w, "generate", http.StatusInternalServerError, err)
+			return
+		}
+		hwif, err := wrapBoard(board, req.Download)
+		if err != nil {
+			s.fail(ctx, w, "generate", http.StatusBadRequest, err)
+			return
+		}
+		var ds xhwif.DownloadStats
+		res, ds, err = proj.GenerateAndDownloadCtx(ctx, m, hwif, opts)
+		if err != nil {
+			s.fail(ctx, w, "generate", http.StatusInternalServerError, err)
+			return
+		}
+		resp.Download = &DownloadResult{
+			Attempts:      ds.Attempts,
+			FramesWritten: ds.FramesWritten,
+			ModelTimeUS:   ds.ModelTime.Microseconds(),
+		}
+	} else {
+		res, err = proj.GeneratePartialCtx(ctx, m, opts)
+		if err != nil {
+			s.fail(ctx, w, "generate", http.StatusInternalServerError, err)
+			return
+		}
+	}
+	s.mGenerates.Inc()
+	resp.Bitstream = res.Bitstream
+	resp.Bytes = len(res.Bitstream)
+	resp.Frames = len(res.FARs)
+	resp.FramesChanged = res.FramesChanged
+	resp.Region = res.Region.String()
+	writeJSON(w, resp)
+}
+
+// boardWithBase provisions a simulated board holding the base configuration
+// — the device state a partial reconfiguration assumes.
+func (s *Server) boardWithBase(ctx context.Context, part *device.Part, baseBS []byte) (*xhwif.Board, error) {
+	board := xhwif.NewBoard(part)
+	if _, err := board.DownloadCtx(ctx, baseBS); err != nil {
+		return nil, fmt.Errorf("configuring board with base: %w", err)
+	}
+	return board, nil
+}
+
+// wrapBoard layers fault injection and the reliability wrapper per the
+// request's download options.
+func wrapBoard(board *xhwif.Board, d *DownloadRequest) (xhwif.HWIF, error) {
+	var hwif xhwif.HWIF = board
+	if d.Faults != "" {
+		spec, err := faults.Parse(d.Faults)
+		if err != nil {
+			return nil, err
+		}
+		hwif = faults.Wrap(hwif, spec)
+	}
+	return xhwif.NewReliable(hwif, xhwif.RetryPolicy{
+		MaxAttempts: d.Retries,
+		Timeout:     time.Duration(d.TimeoutMS) * time.Millisecond,
+		Verify:      d.Verify,
+	}), nil
+}
+
+// BuildRequest is the /v1/build body: run the CAD flow server-side. The
+// base design is described by instance specs (designs.ParseInstanceSpecs
+// syntax, e.g. "u1/=counter:bits=6;u2/=sbox:n=8,seed=3"); an optional
+// variant re-implements one instance (paper Phase 2) and generates its
+// partial bitstream against the freshly built base.
+type BuildRequest struct {
+	Part      string          `json:"part"`
+	Instances string          `json:"instances"`
+	Seed      int64           `json:"seed,omitempty"`
+	Variant   *VariantRequest `json:"variant,omitempty"`
+}
+
+// VariantRequest names one Phase 2 re-implementation.
+type VariantRequest struct {
+	Prefix   string `json:"prefix"`
+	Gen      string `json:"gen"`
+	Seed     int64  `json:"seed,omitempty"`
+	Strict   bool   `json:"strict,omitempty"`
+	Compress bool   `json:"compress,omitempty"`
+	Delta    bool   `json:"delta,omitempty"`
+}
+
+// BuildTimes reports one CAD run's stage times in microseconds.
+type BuildTimes struct {
+	SynthUS  int64 `json:"synth_us"`
+	PlaceUS  int64 `json:"place_us"`
+	RouteUS  int64 `json:"route_us"`
+	BitgenUS int64 `json:"bitgen_us"`
+}
+
+func buildTimes(t flow.StageTimes) BuildTimes {
+	return BuildTimes{
+		SynthUS:  t.Synthesis.Microseconds(),
+		PlaceUS:  t.Place.Microseconds(),
+		RouteUS:  t.Route.Microseconds(),
+		BitgenUS: t.Bitgen.Microseconds(),
+	}
+}
+
+// VariantResult reports the variant build and its partial bitstream.
+type VariantResult struct {
+	Times         BuildTimes `json:"times"`
+	Bitstream     []byte     `json:"bitstream"`
+	Bytes         int        `json:"bytes"`
+	Frames        int        `json:"frames"`
+	FramesChanged int        `json:"frames_changed"`
+	Region        string     `json:"region"`
+}
+
+// BuildResponse is the /v1/build result.
+type BuildResponse struct {
+	RequestID string            `json:"request_id"`
+	Part      string            `json:"part"`
+	BaseBytes int               `json:"base_bytes"`
+	BaseTimes BuildTimes        `json:"base_times"`
+	Regions   map[string]string `json:"regions"`
+	Variant   *VariantResult    `json:"variant,omitempty"`
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if r.Method != http.MethodPost {
+		s.fail(ctx, w, "build", http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req BuildRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(ctx, w, "build", http.StatusBadRequest, err)
+		return
+	}
+	part, err := device.ByName(req.Part)
+	if err != nil {
+		s.fail(ctx, w, "build", http.StatusBadRequest, err)
+		return
+	}
+	insts, err := designs.ParseInstanceSpecs(req.Instances)
+	if err != nil {
+		s.fail(ctx, w, "build", http.StatusBadRequest, err)
+		return
+	}
+	base, err := flow.BuildBase(ctx, part, insts, flow.Options{Seed: req.Seed})
+	if err != nil {
+		s.fail(ctx, w, "build", http.StatusInternalServerError, err)
+		return
+	}
+	resp := BuildResponse{
+		RequestID: jpglog.RequestIDFrom(ctx),
+		Part:      part.Name,
+		BaseBytes: len(base.Bitstream),
+		BaseTimes: buildTimes(base.Times),
+		Regions:   map[string]string{},
+	}
+	for prefix, rg := range base.Regions {
+		resp.Regions[prefix] = rg.String()
+	}
+	if v := req.Variant; v != nil {
+		gen, err := designs.ParseSpec(v.Gen)
+		if err != nil {
+			s.fail(ctx, w, "build", http.StatusBadRequest, err)
+			return
+		}
+		va, err := flow.BuildVariant(ctx, base, v.Prefix, gen, flow.Options{Seed: v.Seed})
+		if err != nil {
+			s.fail(ctx, w, "build", http.StatusInternalServerError, err)
+			return
+		}
+		proj, err := core.NewProject(base.Bitstream)
+		if err != nil {
+			s.fail(ctx, w, "build", http.StatusInternalServerError, err)
+			return
+		}
+		proj.Cache = s.cfg.Cache
+		m, err := proj.AddModule(v.Prefix+gen.Name(), va.XDL, va.UCF)
+		if err != nil {
+			s.fail(ctx, w, "build", http.StatusInternalServerError, err)
+			return
+		}
+		res, err := proj.GeneratePartialCtx(ctx, m, core.GenerateOptions{
+			Strict: v.Strict, Compress: v.Compress, Delta: v.Delta,
+		})
+		if err != nil {
+			s.fail(ctx, w, "build", http.StatusInternalServerError, err)
+			return
+		}
+		resp.Variant = &VariantResult{
+			Times:         buildTimes(va.Times),
+			Bitstream:     res.Bitstream,
+			Bytes:         len(res.Bitstream),
+			Frames:        len(res.FARs),
+			FramesChanged: res.FramesChanged,
+			Region:        res.Region.String(),
+		}
+	}
+	s.mBuilds.Inc()
+	writeJSON(w, resp)
+}
+
+// ListenAndServe runs the daemon on addr until ctx is cancelled, then
+// drains gracefully: readiness flips to 503, DrainDelay passes (load
+// balancers stop routing), and in-flight requests get ShutdownTimeout to
+// finish. The returned error is nil on a clean drain.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is ListenAndServe over an existing listener.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	lctx := jpglog.Attach(context.Background(), s.cfg.Logger)
+	jpglog.Info(lctx, "jpgd.listening", "addr", ln.Addr().String())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.SetReady(false)
+	jpglog.Info(lctx, "jpgd.draining", "delay_ms", s.cfg.DrainDelay.Milliseconds())
+	if s.cfg.DrainDelay > 0 {
+		time.Sleep(s.cfg.DrainDelay)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	<-errc // srv.Serve has returned http.ErrServerClosed
+	jpglog.Info(lctx, "jpgd.stopped")
+	return err
+}

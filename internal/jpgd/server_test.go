@@ -1,0 +1,529 @@
+package jpgd_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/flow"
+	"repro/internal/jpgd"
+	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
+	jpglog "repro/internal/obs/log"
+)
+
+// fixture is the shared Phase 1 + Phase 2 build the HTTP tests replay:
+// a two-module XCV50 base design and one LFSR variant for u1/.
+type fixture struct {
+	base    *flow.BaseBuild
+	variant *flow.Artifacts
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixture
+	fixErr  error
+)
+
+func buildFixture(t *testing.T) fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		p := device.MustByName("XCV50")
+		base, err := flow.BuildBase(context.Background(), p, []designs.Instance{
+			{Prefix: "u1/", Gen: designs.Counter{Bits: 6}},
+			{Prefix: "u2/", Gen: designs.SBoxBank{N: 8, Seed: 3}},
+		}, flow.Options{Seed: 1})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		variant, err := flow.BuildVariant(context.Background(), base, "u1/", designs.LFSR{Bits: 6}, flow.Options{Seed: 2})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix = fixture{base: base, variant: variant}
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+func generateBody(t *testing.T, f fixture, download *jpgd.DownloadRequest) []byte {
+	t.Helper()
+	body, err := json.Marshal(jpgd.GenerateRequest{
+		Base:     base64.StdEncoding.EncodeToString(f.base.Bitstream),
+		XDL:      f.variant.XDL,
+		UCF:      f.variant.UCF,
+		Name:     "u1_lfsr",
+		Download: download,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// syncBuffer is a concurrency-safe log sink for test servers.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func newTestServer(t *testing.T, cfg jpgd.Config) (*jpgd.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	srv := jpgd.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	srv, ts := newTestServer(t, jpgd.Config{})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/readyz status %d", resp.StatusCode)
+	}
+
+	srv.SetReady(false)
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz status %d, body %q", resp.StatusCode, body)
+	}
+}
+
+func TestMetricsEndpointReflectsRequests(t *testing.T) {
+	f := buildFixture(t)
+	_, ts := newTestServer(t, jpgd.Config{})
+
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(generateBody(t, f, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("generate status %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	out := string(body)
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE jpg_jpgd_requests counter",
+		"jpg_jpgd_requests 1",
+		"jpg_jpgd_generates 1",
+		"# TYPE jpg_jpgd_request_ns histogram",
+		`jpg_jpgd_request_ns_bucket{le="+Inf"} 1`,
+		"# TYPE jpg_jpgd_inflight gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateMatchesDirectToolPath(t *testing.T) {
+	f := buildFixture(t)
+	_, ts := newTestServer(t, jpgd.Config{})
+
+	// Direct path: the CLI's sequence against the same inputs.
+	proj, err := core.NewProject(f.base.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := proj.AddModule("u1_lfsr", f.variant.XDL, f.variant.UCF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := proj.GeneratePartial(m, core.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/generate", bytes.NewReader(generateBody(t, f, nil)))
+	req.Header.Set("X-Request-ID", "test-gen-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "test-gen-1" {
+		t.Fatalf("X-Request-ID echo = %q", got)
+	}
+	var out jpgd.GenerateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.RequestID != "test-gen-1" {
+		t.Fatalf("response request_id = %q", out.RequestID)
+	}
+	if !bytes.Equal(out.Bitstream, want.Bitstream) {
+		t.Fatalf("HTTP partial differs from direct path: %d vs %d bytes", len(out.Bitstream), len(want.Bitstream))
+	}
+	if out.Frames != len(want.FARs) || out.FramesChanged != want.FramesChanged {
+		t.Fatalf("frame counts differ: %+v vs %d/%d", out, len(want.FARs), want.FramesChanged)
+	}
+	if out.Part != "XCV50" || out.Region != want.Region.String() {
+		t.Fatalf("metadata wrong: %+v", out)
+	}
+}
+
+func TestGenerateWithDownloadAndFaults(t *testing.T) {
+	f := buildFixture(t)
+	_, ts := newTestServer(t, jpgd.Config{})
+
+	// First download attempt is faulted; the reliability layer retries.
+	dl := &jpgd.DownloadRequest{Retries: 3, Faults: "first=1,mode=error,seed=7"}
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(generateBody(t, f, dl)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out jpgd.GenerateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Download == nil {
+		t.Fatal("download result missing")
+	}
+	if out.Download.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one injected fault, one retry)", out.Download.Attempts)
+	}
+	if out.Download.FramesWritten != out.Frames {
+		t.Fatalf("frames written %d != carried %d", out.Download.FramesWritten, out.Frames)
+	}
+}
+
+func TestConcurrentGenerates(t *testing.T) {
+	f := buildFixture(t)
+	_, ts := newTestServer(t, jpgd.Config{})
+	body := generateBody(t, f, nil)
+
+	const n = 8
+	results := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var out jpgd.GenerateResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = out.Bitstream
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i], results[0]) {
+			t.Fatalf("request %d produced a different bitstream", i)
+		}
+	}
+	if len(results[0]) == 0 {
+		t.Fatal("empty bitstreams")
+	}
+}
+
+// TestLogCorrelation is the acceptance check: one request's structured log
+// lines — HTTP entry, flow stages, cache events, partial generation and
+// download events — all carry the same correlation ID.
+func TestLogCorrelation(t *testing.T) {
+	f := buildFixture(t)
+	var logs syncBuffer
+	_, ts := newTestServer(t, jpgd.Config{
+		Logger: jpglog.New(&logs, slog.LevelDebug),
+		Cache:  cache.New(cache.Options{NoDisk: true}),
+	})
+
+	// A build request drives the CAD flow (map/place/route/bitgen stages +
+	// stage-cache lookups) under one ID.
+	buildBody, _ := json.Marshal(jpgd.BuildRequest{
+		Part:      "XCV50",
+		Instances: "u1/=counter:bits=6;u2/=sbox:n=8,seed=3",
+		Seed:      1,
+		Variant:   &jpgd.VariantRequest{Prefix: "u1/", Gen: "lfsr:bits=6", Seed: 2},
+	})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/build", bytes.NewReader(buildBody))
+	req.Header.Set("X-Request-ID", "corr-build")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("build status %d", resp.StatusCode)
+	}
+
+	// A generate-with-download request drives partial generation and the
+	// board download under another ID.
+	req, _ = http.NewRequest("POST", ts.URL+"/v1/generate",
+		bytes.NewReader(generateBody(t, f, &jpgd.DownloadRequest{Retries: 2})))
+	req.Header.Set("X-Request-ID", "corr-gen")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("generate status %d", resp.StatusCode)
+	}
+
+	byID := map[string]map[string]bool{} // request_id -> set of msg
+	for _, line := range strings.Split(strings.TrimSpace(logs.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		id, _ := m["request_id"].(string)
+		msg, _ := m["msg"].(string)
+		if id == "" {
+			t.Fatalf("log line without request_id: %s", line)
+		}
+		if byID[id] == nil {
+			byID[id] = map[string]bool{}
+		}
+		byID[id][msg] = true
+	}
+	if len(byID) != 2 {
+		t.Fatalf("expected exactly 2 correlation IDs, got %v", byID)
+	}
+	for _, msg := range []string{"flow.stage", "cache", "core.partial", "http.request"} {
+		if !byID["corr-build"][msg] {
+			t.Fatalf("build request logs lack %q: %v", msg, byID["corr-build"])
+		}
+	}
+	for _, msg := range []string{"core.partial", "download", "board.download", "http.request"} {
+		if !byID["corr-gen"][msg] {
+			t.Fatalf("generate request logs lack %q: %v", msg, byID["corr-gen"])
+		}
+	}
+}
+
+func TestFlightRecorderEndpoint(t *testing.T) {
+	f := buildFixture(t)
+	rec := flightrec.New(256)
+	_, ts := newTestServer(t, jpgd.Config{Recorder: rec})
+
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(generateBody(t, f, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	dresp, err := http.Get(ts.URL + "/debug/flightrec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump flightrec.Dump
+	if err := json.NewDecoder(dresp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dump.TotalSpans == 0 {
+		t.Fatal("flight recorder saw no spans")
+	}
+	var names []string
+	for _, s := range dump.Spans {
+		names = append(names, s.Rec.Name)
+	}
+	found := false
+	for _, n := range names {
+		if n == "jpgd.request" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no jpgd.request span in dump: %v", names)
+	}
+
+	cresp, err := http.Get(ts.URL + "/debug/flightrec?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _ := io.ReadAll(cresp.Body)
+	cresp.Body.Close()
+	var events []map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(trace), &events); err != nil {
+		t.Fatalf("chrome dump not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("chrome dump empty")
+	}
+}
+
+func TestGenerateRejectsBadRequests(t *testing.T) {
+	rec := flightrec.New(64)
+	_, ts := newTestServer(t, jpgd.Config{Recorder: rec})
+
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"empty", `{}`, http.StatusBadRequest},
+		{"bad json", `{`, http.StatusBadRequest},
+		{"bad base64", `{"base":"!!!","xdl":"x","ucf":"u"}`, http.StatusBadRequest},
+		{"unknown field", `{"bogus":1}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/generate", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error     string `json:"error"`
+			RequestID string `json:"request_id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%s: error envelope not JSON: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+		if e.Error == "" || e.RequestID == "" {
+			t.Fatalf("%s: bad error envelope: %+v", tc.name, e)
+		}
+	}
+
+	// GET is not allowed.
+	resp, err := http.Get(ts.URL + "/v1/generate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", resp.StatusCode)
+	}
+
+	if rec.Dump().TotalErrors == 0 {
+		t.Fatal("request failures not recorded in the flight recorder")
+	}
+}
+
+func TestBuildEndpoint(t *testing.T) {
+	f := buildFixture(t)
+	_, ts := newTestServer(t, jpgd.Config{})
+
+	body, _ := json.Marshal(jpgd.BuildRequest{
+		Part:      "XCV50",
+		Instances: "u1/=counter:bits=6;u2/=sbox:n=8,seed=3",
+		Seed:      1,
+		Variant:   &jpgd.VariantRequest{Prefix: "u1/", Gen: "lfsr:bits=6", Seed: 2},
+	})
+	resp, err := http.Post(ts.URL+"/v1/build", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var out jpgd.BuildResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Part != "XCV50" || out.BaseBytes == 0 || len(out.Regions) != 2 {
+		t.Fatalf("build response: %+v", out)
+	}
+	if out.Variant == nil || out.Variant.Bytes == 0 {
+		t.Fatalf("variant result missing: %+v", out)
+	}
+	// The server-side build is the same deterministic flow the fixture ran:
+	// the variant's partial must match the partial generated locally from
+	// the fixture's artifacts.
+	proj, err := core.NewProject(f.base.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := proj.AddModule("u1_lfsr", f.variant.XDL, f.variant.UCF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := proj.GeneratePartial(m, core.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Variant.Bitstream, want.Bitstream) {
+		t.Fatalf("server-built partial differs from local build: %d vs %d bytes",
+			len(out.Variant.Bitstream), len(want.Bitstream))
+	}
+}

@@ -33,9 +33,13 @@ func micros(d time.Duration) *float64 {
 // see per-stage spans nested on per-worker lanes. Events are ordered by
 // (lane, start, id), so the output is reproducible for a given span set.
 func (c *Collector) ChromeTrace(processName string) ([]byte, error) {
-	spans := c.Spans()
-	lanes := c.LaneNames()
+	return ChromeTraceJSON(processName, c.Spans(), c.LaneNames())
+}
 
+// ChromeTraceJSON renders an arbitrary span set (e.g. a flight-recorder
+// dump) as Chrome trace-event JSON. lanes may be nil; named lanes emit
+// thread_name metadata. Spans are reordered in place by (lane, start, id).
+func ChromeTraceJSON(processName string, spans []SpanRecord, lanes map[int64]string) ([]byte, error) {
 	events := make([]chromeEvent, 0, len(spans)+len(lanes)+1)
 	events = append(events, chromeEvent{
 		Name: "process_name", Ph: "M", Pid: 1,
@@ -67,10 +71,13 @@ func (c *Collector) ChromeTrace(processName string) ([]byte, error) {
 			Name: s.Name, Ph: "X", Pid: 1, Tid: s.Lane,
 			Ts: micros(s.Start), Dur: micros(s.Dur),
 		}
-		if len(s.Attrs) > 0 {
-			ev.Args = make(map[string]any, len(s.Attrs))
+		if len(s.Attrs) > 0 || s.Err != "" {
+			ev.Args = make(map[string]any, len(s.Attrs)+1)
 			for _, a := range s.Attrs {
 				ev.Args[a.Key] = a.Value
+			}
+			if s.Err != "" {
+				ev.Args["error"] = s.Err
 			}
 		}
 		events = append(events, ev)
@@ -102,7 +109,9 @@ type Export struct {
 // ExportVersion is the schema version of Export and of the perf records the
 // CLIs emit. Version 3 added build-cache statistics (nullable speedups,
 // warm-rerun timings and per-stage hit rates) to the jpgbench record.
-const ExportVersion = 3
+// Version 4 added derived histogram quantiles (p50/p95/p99) to metric
+// snapshots and error status (err) to span records.
+const ExportVersion = 4
 
 // Export snapshots the collector's spans together with the registry's
 // metrics.

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestSpanEndErrTagsRecord(t *testing.T) {
+	col := New()
+	ctx := col.Attach(context.Background())
+
+	_, sp := Start(ctx, "ok")
+	sp.End()
+	_, sp = Start(ctx, "bad")
+	sp.EndErr(errors.New("boom"))
+	_, sp = Start(ctx, "failed-then-ended")
+	sp.Fail(errors.New("later"))
+	sp.End()
+
+	spans := col.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Err != "" {
+		t.Fatalf("clean span carries err %q", spans[0].Err)
+	}
+	if spans[1].Err != "boom" {
+		t.Fatalf("EndErr span err = %q, want boom", spans[1].Err)
+	}
+	if spans[2].Err != "later" {
+		t.Fatalf("Fail+End span err = %q, want later", spans[2].Err)
+	}
+}
+
+func TestSpanEndErrNilSafe(t *testing.T) {
+	// nil span (no collector) and nil error must both be no-ops.
+	var sp *Span
+	sp.Fail(errors.New("x"))
+	sp.EndErr(errors.New("x"))
+
+	col := New()
+	ctx := col.Attach(context.Background())
+	_, s := Start(ctx, "a")
+	s.EndErr(nil)
+	if got := col.Spans()[0].Err; got != "" {
+		t.Fatalf("EndErr(nil) set err %q", got)
+	}
+}
+
+func TestCountError(t *testing.T) {
+	const stage = "testonly_count_error_stage"
+	before := GetCounter("errors_total." + stage).Value()
+	CountError(stage)
+	CountError(stage)
+	if got := GetCounter("errors_total." + stage).Value(); got != before+2 {
+		t.Fatalf("errors_total.%s = %d, want %d", stage, got, before+2)
+	}
+}
+
+func TestSpanRecordAttr(t *testing.T) {
+	rec := SpanRecord{Attrs: []Attr{{Key: "request_id", Value: "abc"}, {Key: "n", Value: int64(3)}}}
+	if got := rec.Attr("request_id"); got != "abc" {
+		t.Fatalf("Attr(request_id) = %q", got)
+	}
+	if got := rec.Attr("n"); got != "" {
+		t.Fatalf("non-string attr returned %q, want empty", got)
+	}
+	if got := rec.Attr("missing"); got != "" {
+		t.Fatalf("missing attr returned %q, want empty", got)
+	}
+}
+
+func TestChromeTraceCarriesErrorArg(t *testing.T) {
+	col := New()
+	ctx := col.Attach(context.Background())
+	_, sp := Start(ctx, "stage")
+	sp.EndErr(errors.New("exploded"))
+	var buf bytes.Buffer
+	if err := col.WriteChromeTrace(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"error": "exploded"`)) {
+		t.Fatalf("chrome trace lacks error arg:\n%s", buf.String())
+	}
+}
+
+func TestHistogramQuantileFromBuckets(t *testing.T) {
+	// Hand-built snapshot: 50 obs <= 1, 45 in (1,3], 5 in (3,7], max 6.
+	h := HistogramSnapshot{
+		Count: 100, Sum: 200, Min: 1, Max: 6,
+		Buckets: []Bucket{{Le: 1, N: 50}, {Le: 3, N: 45}, {Le: 7, N: 5}},
+	}
+	if got := h.Quantile(0.50); got != 1 {
+		t.Fatalf("p50 = %d, want 1", got)
+	}
+	if got := h.Quantile(0.95); got != 3 {
+		t.Fatalf("p95 = %d, want 3", got)
+	}
+	// p99 lands in the top bucket; its Le (7) clamps to the observed max.
+	if got := h.Quantile(0.99); got != 6 {
+		t.Fatalf("p99 = %d, want 6 (clamped to max)", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+}
+
+func TestSnapshotPopulatesQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.GetHistogram("q_ns")
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	hs := reg.Snapshot().Histograms["q_ns"]
+	if hs.P50 == 0 || hs.P95 == 0 || hs.P99 == 0 {
+		t.Fatalf("quantiles not populated: %+v", hs)
+	}
+	if hs.P50 > hs.P95 || hs.P95 > hs.P99 {
+		t.Fatalf("quantiles not monotone: p50 %d p95 %d p99 %d", hs.P50, hs.P95, hs.P99)
+	}
+	if hs.P99 > hs.Max {
+		t.Fatalf("p99 %d above max %d", hs.P99, hs.Max)
+	}
+}

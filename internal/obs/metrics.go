@@ -143,12 +143,18 @@ type Bucket struct {
 	N  int64 `json:"n"`
 }
 
-// HistogramSnapshot is one histogram's state at snapshot time.
+// HistogramSnapshot is one histogram's state at snapshot time. P50/P95/P99
+// are derived upper-bound quantile estimates (see Quantile), so exported
+// snapshots — jpgbench's BENCH_*.json, jpgd's /metrics — capture tail
+// latency, not just mean and count.
 type HistogramSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     int64    `json:"sum"`
 	Min     int64    `json:"min"`
 	Max     int64    `json:"max"`
+	P50     int64    `json:"p50,omitempty"`
+	P95     int64    `json:"p95,omitempty"`
+	P99     int64    `json:"p99,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
@@ -158,6 +164,37 @@ func (h HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the power-of-two
+// buckets: the upper bound (Le) of the first bucket whose cumulative count
+// reaches q*Count, clamped to the observed [Min, Max]. The estimate is
+// conservative — never below the true quantile's bucket floor, never above
+// the true maximum — and exact when a bucket holds a single distinct value.
+// Returns 0 on an empty snapshot.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.Count)))
+	if target > h.Count {
+		target = h.Count
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.N
+		if cum >= target {
+			le := b.Le
+			if le > h.Max {
+				le = h.Max
+			}
+			if le < h.Min {
+				le = h.Min
+			}
+			return le
+		}
+	}
+	return h.Max
 }
 
 // Snapshot is a point-in-time copy of a registry, ready for JSON encoding.
@@ -203,6 +240,9 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 			hs.Buckets = append(hs.Buckets, Bucket{Le: le, N: n})
 		}
+		hs.P50 = hs.Quantile(0.50)
+		hs.P95 = hs.Quantile(0.95)
+		hs.P99 = hs.Quantile(0.99)
 		s.Histograms[k.(string)] = hs
 		return true
 	})
@@ -243,8 +283,8 @@ func (s Snapshot) Render() string {
 	sort.Strings(names)
 	for _, n := range names {
 		h := s.Histograms[n]
-		fmt.Fprintf(&b, "histogram  %-36s count %d sum %d mean %.1f min %d max %d\n",
-			n, h.Count, h.Sum, h.Mean(), h.Min, h.Max)
+		fmt.Fprintf(&b, "histogram  %-36s count %d sum %d mean %.1f min %d max %d p50 %d p95 %d p99 %d\n",
+			n, h.Count, h.Sum, h.Mean(), h.Min, h.Max, h.P50, h.P95, h.P99)
 	}
 	return b.String()
 }

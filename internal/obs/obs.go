@@ -44,7 +44,9 @@ type Attr struct {
 
 // SpanRecord is one completed span, as delivered to sinks and exporters.
 // Start is an offset from the collector's epoch, so records from one
-// collector share a timeline.
+// collector share a timeline. Err carries the span's error status (set by
+// Fail/EndErr); error spans surface in Chrome-trace args and in the flight
+// recorder's error ring.
 type SpanRecord struct {
 	ID     int64         `json:"id"`
 	Parent int64         `json:"parent,omitempty"`
@@ -53,6 +55,20 @@ type SpanRecord struct {
 	Start  time.Duration `json:"start_ns"`
 	Dur    time.Duration `json:"dur_ns"`
 	Attrs  []Attr        `json:"attrs,omitempty"`
+	Err    string        `json:"err,omitempty"`
+}
+
+// Attr returns the value of the named attribute ("" when absent or not a
+// string) — the accessor sinks use to pull e.g. the request_id off a record.
+func (r SpanRecord) Attr(key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			if s, ok := a.Value.(string); ok {
+				return s
+			}
+		}
+	}
+	return ""
 }
 
 // Sink receives completed spans as they end. Implementations must be safe
@@ -146,6 +162,7 @@ type Span struct {
 	name   string
 	start  time.Time
 	attrs  []Attr
+	errMsg string
 	ended  atomic.Bool
 }
 
@@ -185,6 +202,31 @@ func (s *Span) SetStr(key, v string) {
 	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
 }
 
+// Fail records err as the span's error status; the span still needs End (or
+// use EndErr). The last non-nil error wins. No-op on a nil span or nil err.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.errMsg = err.Error()
+}
+
+// EndErr completes the span, tagging it with err when non-nil: the record
+// carries the error into sinks, Chrome-trace args and flight-recorder dumps.
+// EndErr(nil) is exactly End. Tagging is trace-side only; pair it with
+// CountError so failures also register when no collector is attached.
+func (s *Span) EndErr(err error) {
+	s.Fail(err)
+	s.End()
+}
+
+// CountError counts one failure of the named stage in the Default
+// registry's errors_total.<stage> counter. Like every registry metric it is
+// always on — error rates are visible with or without tracing.
+func CountError(stage string) {
+	GetCounter("errors_total." + stage).Inc()
+}
+
 // End completes the span and delivers it to the collector (and its sink).
 // No-op on a nil span; safe to call more than once (later calls are
 // ignored).
@@ -201,6 +243,7 @@ func (s *Span) End() {
 		Start:  s.start.Sub(s.c.epoch),
 		Dur:    end.Sub(s.start),
 		Attrs:  s.attrs,
+		Err:    s.errMsg,
 	}
 	s.c.mu.Lock()
 	s.c.spans = append(s.c.spans, rec)

@@ -1,0 +1,132 @@
+// Package prom exposes the obs metrics registry in the Prometheus text
+// exposition format (version 0.0.4), the lingua franca of scrape-based
+// monitoring: jpgd serves it on /metrics so a standard Prometheus server
+// can watch per-stage latency, cache efficiency and download health of a
+// live partial-bitstream service without any custom integration.
+//
+// Registry names ("flow.place_ns", "cache.hit.partial") are mapped to valid
+// Prometheus metric names by prefixing "jpg_" and replacing every character
+// outside [a-zA-Z0-9_] with '_' ("jpg_flow_place_ns", "jpg_cache_hit_partial").
+// Counters and gauges expose their value directly; obs's power-of-two
+// histograms expose cumulative le-buckets plus _sum and _count, exactly the
+// shape PromQL's histogram_quantile expects. Output is deterministic:
+// metrics sorted by exposed name, buckets in ascending le order.
+package prom
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// ContentType is the scrape response content type for the text format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// namePrefix namespaces every exposed metric.
+const namePrefix = "jpg_"
+
+// validName is the Prometheus metric-name grammar.
+var validName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// ValidName reports whether s is a legal Prometheus metric name.
+func ValidName(s string) bool { return validName.MatchString(s) }
+
+// MetricName maps a registry name to its exposed Prometheus name. The
+// result is always valid: the "jpg_" prefix guarantees a legal first
+// character and every illegal character becomes '_'.
+func MetricName(raw string) string {
+	var b strings.Builder
+	b.Grow(len(namePrefix) + len(raw))
+	b.WriteString(namePrefix)
+	for _, r := range raw {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// metricLine is one "name value" sample under a TYPE header.
+type metric struct {
+	name  string // exposed name
+	typ   string // counter | gauge | histogram
+	lines []string
+}
+
+// WriteSnapshot renders a snapshot in the text exposition format.
+func WriteSnapshot(w io.Writer, s obs.Snapshot) error {
+	metrics := make([]metric, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for raw, v := range s.Counters {
+		name := MetricName(raw)
+		metrics = append(metrics, metric{
+			name: name, typ: "counter",
+			lines: []string{fmt.Sprintf("%s %d", name, v)},
+		})
+	}
+	for raw, v := range s.Gauges {
+		name := MetricName(raw)
+		metrics = append(metrics, metric{
+			name: name, typ: "gauge",
+			lines: []string{fmt.Sprintf("%s %d", name, v)},
+		})
+	}
+	for raw, h := range s.Histograms {
+		name := MetricName(raw)
+		m := metric{name: name, typ: "histogram"}
+		// obs buckets are disjoint with inclusive integer upper bounds
+		// (bucket i holds (prev.Le, Le]), so a running sum yields exactly
+		// the cumulative counts Prometheus wants. The registry's overflow
+		// bucket (Le == MaxInt64) folds into +Inf.
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.N
+			if b.Le == math.MaxInt64 {
+				continue
+			}
+			m.lines = append(m.lines, fmt.Sprintf("%s_bucket{le=\"%d\"} %d", name, b.Le, cum))
+		}
+		m.lines = append(m.lines,
+			fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", name, h.Count),
+			fmt.Sprintf("%s_sum %d", name, h.Sum),
+			fmt.Sprintf("%s_count %d", name, h.Count),
+		)
+		metrics = append(metrics, m)
+	}
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+	var b strings.Builder
+	for _, m := range metrics {
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.typ)
+		for _, line := range m.lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Write renders a point-in-time snapshot of the registry.
+func Write(w io.Writer, reg *obs.Registry) error {
+	return WriteSnapshot(w, reg.Snapshot())
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func Handler(reg *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		if err := Write(w, reg); err != nil {
+			// The snapshot itself cannot fail; a write error means the
+			// client went away mid-scrape. Nothing useful to send.
+			return
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package prom
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestWriteGolden locks the exposition format over a seeded registry:
+// deterministic ordering, TYPE headers, cumulative le-buckets, _sum/_count.
+func TestWriteGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.GetCounter("flow.base_builds").Add(3)
+	reg.GetGauge("cache.bytes").Set(42)
+	h := reg.GetHistogram("flow.place_ns")
+	h.Observe(1) // bucket le=1
+	h.Observe(2) // bucket le=3
+	h.Observe(5) // bucket le=7
+
+	var b strings.Builder
+	if err := Write(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE jpg_cache_bytes gauge
+jpg_cache_bytes 42
+# TYPE jpg_flow_base_builds counter
+jpg_flow_base_builds 3
+# TYPE jpg_flow_place_ns histogram
+jpg_flow_place_ns_bucket{le="1"} 1
+jpg_flow_place_ns_bucket{le="3"} 2
+jpg_flow_place_ns_bucket{le="7"} 3
+jpg_flow_place_ns_bucket{le="+Inf"} 3
+jpg_flow_place_ns_sum 8
+jpg_flow_place_ns_count 3
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestOverflowBucketFoldsIntoInf checks that the registry's MaxInt64
+// overflow bucket never leaks a finite 2^63-1 le label.
+func TestOverflowBucketFoldsIntoInf(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.GetHistogram("big").Observe(math.MaxInt64)
+	var b strings.Builder
+	if err := Write(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `le="9223372036854775807"`) {
+		t.Fatalf("overflow bucket leaked a finite le:\n%s", out)
+	}
+	if !strings.Contains(out, `jpg_big_bucket{le="+Inf"} 1`) {
+		t.Fatalf("+Inf bucket missing or wrong:\n%s", out)
+	}
+}
+
+func TestMetricNameAlwaysValid(t *testing.T) {
+	cases := []string{
+		"flow.place_ns", "cache.hit.partial", "errors_total.place",
+		"weird-name!", "", "0starts.with.digit", "a b c", "höhe",
+	}
+	for _, raw := range cases {
+		got := MetricName(raw)
+		if !ValidName(got) {
+			t.Errorf("MetricName(%q) = %q is not a valid Prometheus name", raw, got)
+		}
+		if !strings.HasPrefix(got, "jpg_") {
+			t.Errorf("MetricName(%q) = %q lacks the jpg_ prefix", raw, got)
+		}
+	}
+	if got := MetricName("flow.place_ns"); got != "jpg_flow_place_ns" {
+		t.Fatalf("MetricName(flow.place_ns) = %q", got)
+	}
+	if ValidName("0bad") || ValidName("has space") || ValidName("") {
+		t.Fatal("ValidName accepted an invalid name")
+	}
+}
+
+// TestDefaultRegistryNamesExposeValid walks every metric registered in the
+// process-wide registry (the instrumented packages register theirs at init)
+// and asserts each maps to a legal exposed name.
+func TestDefaultRegistryNamesExposeValid(t *testing.T) {
+	s := obs.Default.Snapshot()
+	check := func(raw string) {
+		if got := MetricName(raw); !ValidName(got) {
+			t.Errorf("registry name %q exposes invalid %q", raw, got)
+		}
+	}
+	for raw := range s.Counters {
+		check(raw)
+	}
+	for raw := range s.Gauges {
+		check(raw)
+	}
+	for raw := range s.Histograms {
+		check(raw)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.GetCounter("requests").Inc()
+	rr := httptest.NewRecorder()
+	Handler(reg).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type %q, want %q", ct, ContentType)
+	}
+	if !strings.Contains(rr.Body.String(), "jpg_requests 1") {
+		t.Fatalf("body lacks counter:\n%s", rr.Body.String())
+	}
+}

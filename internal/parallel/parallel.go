@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	jpglog "repro/internal/obs/log"
 )
 
 // EnvWorkers is the environment variable overriding the default worker
@@ -104,7 +105,11 @@ func runTask(ctx context.Context, i int, batchStart time.Time, fn func(ctx conte
 	mQueueDepth.Add(-1)
 	mQueueWait.Observe(wait.Nanoseconds())
 	mRunTime.Observe(time.Since(t0).Nanoseconds())
-	sp.End()
+	sp.EndErr(err)
+	if err != nil {
+		obs.CountError("task")
+		jpglog.Warn(ctx, "parallel.task_failed", "index", i, "error", err.Error())
+	}
 	return err
 }
 
@@ -119,7 +124,7 @@ func runTask(ctx context.Context, i int, batchStart time.Time, fn func(ctx conte
 // index is handed out once ctx.Done() fires, in-flight items run to
 // completion, and the batch returns ctx.Err(). A task failure observed
 // before the cancellation keeps the lowest-index-error contract.
-func ForEachNCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) error, opts ...Option) error {
+func ForEachNCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) error, opts ...Option) (err error) {
 	if n <= 0 {
 		return nil
 	}
@@ -128,7 +133,7 @@ func ForEachNCtx(ctx context.Context, n int, fn func(ctx context.Context, i int)
 	bctx, batch := obs.Start(ctx, "parallel.batch")
 	batch.SetInt("tasks", int64(n))
 	batch.SetInt("workers", int64(workers))
-	defer batch.End()
+	defer func() { batch.EndErr(err) }()
 	mBatches.Inc()
 	mQueueDepth.Add(int64(n))
 	batchStart := time.Now()

@@ -11,6 +11,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/frames"
 	"repro/internal/obs"
+	jpglog "repro/internal/obs/log"
 )
 
 // RetryPolicy tunes a ReliableHWIF.
@@ -89,6 +90,7 @@ type ReliableHWIF struct {
 }
 
 var _ HWIF = (*ReliableHWIF)(nil)
+var _ ContextDownloader = (*ReliableHWIF)(nil)
 
 // NewReliable wraps inner with the given retry policy.
 func NewReliable(inner HWIF, p RetryPolicy) *ReliableHWIF {
@@ -188,14 +190,20 @@ func (r *ReliableHWIF) DownloadCtx(ctx context.Context, bs []byte) (DownloadStat
 		if cerr := ctx.Err(); cerr != nil {
 			r.aborts++
 			mAborts.Inc()
+			jpglog.Warn(ctx, "download.abort", "attempts", attempt-1, "error", cerr.Error())
 			return ds, fmt.Errorf("xhwif: download aborted after %d attempt(s): %w", attempt-1, cerr)
 		}
-		ds, err = r.Inner.Download(bs)
+		if cd, ok := r.Inner.(ContextDownloader); ok {
+			ds, err = cd.DownloadCtx(ctx, bs)
+		} else {
+			ds, err = r.Inner.Download(bs)
+		}
 		ds.Attempts = attempt
 		if err == nil && expected != nil {
 			if verr := r.verify(pre, expected); verr != nil {
 				r.verifyFails++
 				mVerifyFails.Inc()
+				jpglog.Warn(ctx, "download.verify_failed", "attempt", attempt, "error", verr.Error())
 				err = verr
 			} else {
 				mVerifyOK.Inc()
@@ -207,13 +215,17 @@ func (r *ReliableHWIF) DownloadCtx(ctx context.Context, bs []byte) (DownloadStat
 		if attempt >= p.MaxAttempts {
 			r.aborts++
 			mAborts.Inc()
+			jpglog.Warn(ctx, "download.abort", "attempts", attempt, "error", err.Error())
 			return ds, fmt.Errorf("xhwif: download failed after %d attempt(s): %w", attempt, err)
 		}
 		r.retries++
 		mRetries.Inc()
-		if serr := r.sleep(ctx, r.backoff(p, attempt)); serr != nil {
+		backoff := r.backoff(p, attempt)
+		jpglog.Warn(ctx, "download.retry", "attempt", attempt, "backoff_us", backoff.Microseconds(), "error", err.Error())
+		if serr := r.sleep(ctx, backoff); serr != nil {
 			r.aborts++
 			mAborts.Inc()
+			jpglog.Warn(ctx, "download.abort", "attempts", attempt, "error", serr.Error())
 			return ds, fmt.Errorf("xhwif: download aborted during backoff after %d attempt(s): %w", attempt, serr)
 		}
 	}

@@ -27,12 +27,25 @@ func (f *flaky) Download(bs []byte) (DownloadStats, error) {
 	return f.Board.Download(bs)
 }
 
+// DownloadCtx overrides the method promoted from the embedded Board so the
+// injected failures also hit callers on the context-aware path.
+func (f *flaky) DownloadCtx(ctx context.Context, bs []byte) (DownloadStats, error) {
+	if err := ctx.Err(); err != nil {
+		return DownloadStats{}, err
+	}
+	return f.Download(bs)
+}
+
 // liar reports success without writing anything: the failure mode only
 // verify-after-write can catch.
 type liar struct{ *Board }
 
 func (l *liar) Download(bs []byte) (DownloadStats, error) {
 	return DownloadStats{Bytes: len(bs), Attempts: 1}, nil
+}
+
+func (l *liar) DownloadCtx(ctx context.Context, bs []byte) (DownloadStats, error) {
+	return l.Download(bs)
 }
 
 // fastPolicy keeps test retries effectively instant.

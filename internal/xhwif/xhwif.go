@@ -14,6 +14,7 @@
 package xhwif
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/frames"
 	"repro/internal/obs"
+	jpglog "repro/internal/obs/log"
 )
 
 // DefaultClockHz is the default SelectMAP configuration clock.
@@ -44,6 +46,15 @@ type HWIF interface {
 // it so verify-after-write can read back only the frames a download touched.
 type FrameReader interface {
 	ReadbackFrames(fars []device.FAR) ([][]uint32, error)
+}
+
+// ContextDownloader is the optional context-aware download side of a HWIF.
+// *Board, *ReliableHWIF and the faults injector implement it; callers that
+// hold a context (jpgd request handlers, the reliability layer) prefer it so
+// deadlines, cancellation and the request-scoped logger reach every layer of
+// the download stack.
+type ContextDownloader interface {
+	DownloadCtx(ctx context.Context, bs []byte) (DownloadStats, error)
 }
 
 // DownloadStats reports one download.
@@ -99,6 +110,7 @@ type Board struct {
 
 var _ HWIF = (*Board)(nil)
 var _ FrameReader = (*Board)(nil)
+var _ ContextDownloader = (*Board)(nil)
 
 // NewBoard returns a board with a blank (unconfigured) device.
 func NewBoard(p *device.Part) *Board {
@@ -166,6 +178,24 @@ func (b *Board) Download(bs []byte) (DownloadStats, error) {
 	mFramesWritten.Add(int64(ds.FramesWritten))
 	mDownloadNs.Observe(ds.ModelTime.Nanoseconds())
 	mDownloadSizeB.Observe(int64(ds.Bytes))
+	return ds, nil
+}
+
+// DownloadCtx implements ContextDownloader: Download gated on the context,
+// with one structured log event per outcome (debug on success, warn on a
+// rolled-back stream) so request-scoped logs see the board's side of every
+// download.
+func (b *Board) DownloadCtx(ctx context.Context, bs []byte) (DownloadStats, error) {
+	if err := ctx.Err(); err != nil {
+		return DownloadStats{}, err
+	}
+	ds, err := b.Download(bs)
+	if err != nil {
+		jpglog.Warn(ctx, "board.download", "bytes", len(bs), "error", err.Error())
+		return ds, err
+	}
+	jpglog.Debug(ctx, "board.download", "bytes", ds.Bytes, "frames", ds.FramesWritten,
+		"model_us", ds.ModelTime.Microseconds(), "started", ds.Started)
 	return ds, nil
 }
 
