@@ -11,6 +11,7 @@ package jpg
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -197,6 +198,83 @@ func BenchmarkRouteCounter(b *testing.B) {
 		if err := route.Route(pd, route.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAnnealMove measures one proposed move of the placement anneal —
+// the inner loop the incremental-HPWL bookkeeping exists for. The allocation
+// column is the contract: 0 allocs/op in steady state.
+func BenchmarkAnnealMove(b *testing.B) {
+	p := device.MustByName("XCV50")
+	nl, err := designs.Standalone(designs.SBoxBank{N: 16, Seed: 9}, "sb", "u1/")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mb, err := place.NewMoveBencher(p, nl, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		mb.Step(2.0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mb.Step(2.0)
+	}
+}
+
+// BenchmarkRouteNet measures one rip-up-and-reroute of a net — the unit of
+// work the PathFinder iterations repeat. The allocation column is the
+// contract: 0 allocs/op once the pooled scratch is warm.
+func BenchmarkRouteNet(b *testing.B) {
+	p := device.MustByName("XCV50")
+	nl, err := designs.Standalone(designs.SBoxBank{N: 16, Seed: 9}, "sb", "u1/")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pd, err := place.Place(p, nl, place.Options{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nb, err := route.NewNetBencher(pd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nb.Close()
+	for i := 0; i < 200; i++ {
+		if err := nb.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nb.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiStartPlace measures K-start placement at 1 worker vs all
+// cores; the ns/op ratio is the multi-start pool's wall-clock speedup. The
+// chosen placement is byte-identical across the sub-benchmarks (see
+// internal/place's determinism tests).
+func BenchmarkMultiStartPlace(b *testing.B) {
+	p := device.MustByName("XCV50")
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nl, err := designs.Standalone(designs.SBoxBank{N: 12, Seed: 5}, "sb", "u1/")
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, err = place.Place(p, nl, place.Options{Seed: 7, Starts: 8, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

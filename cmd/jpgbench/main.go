@@ -9,6 +9,9 @@
 //	jpgbench -quick          # shrunken sweeps (seconds instead of minutes)
 //	jpgbench -part XCV100    # device for the CAD-heavy experiments
 //	jpgbench -workers 1      # strictly serial CAD runs (results identical)
+//	jpgbench -starts 4       # multi-start placement: 4 seeded anneals per CAD
+//	                         # run, best placement wins (deterministic for any
+//	                         # worker count)
 //	jpgbench -json out.json  # also time each experiment serial vs parallel
 //	                         # and write a perf record (BENCH_parallel.json)
 //	jpgbench -trace t.json   # write a Chrome trace (chrome://tracing) of the
@@ -81,9 +84,12 @@ type perfRecord struct {
 	// pool width it resolved to (all cores, or $JPG_WORKERS). Recording both
 	// makes a null speedup diagnosable: a pooled run that was accidentally
 	// serial shows requested 0 resolved to 1.
-	RequestedWorkers int              `json:"requested_workers"`
-	Workers          int              `json:"workers"`
-	Experiments      []perfExperiment `json:"experiments"`
+	RequestedWorkers int `json:"requested_workers"`
+	Workers          int `json:"workers"`
+	// RequestedStarts is the -starts flag: annealing starts per placement
+	// (0 = single-start).
+	RequestedStarts int              `json:"requested_starts,omitempty"`
+	Experiments     []perfExperiment `json:"experiments"`
 	// Cache summarises the build cache after the runs (nil when -cache is
 	// off): bounds, per-stage hits/misses and hit rates.
 	Cache *cacheRecord `json:"cache,omitempty"`
@@ -106,7 +112,57 @@ type perfExperiment struct {
 	// configuration (only with -cache); WarmSpeedup is cold/warm.
 	WarmSeconds *float64 `json:"warm_seconds,omitempty"`
 	WarmSpeedup *float64 `json:"warm_speedup,omitempty"`
-	Note        string   `json:"note,omitempty"`
+	// Stages breaks the pooled run down by CAD stage: seconds spent inside
+	// map, place, route and bitgen summed over every CAD run of the
+	// experiment (all workers), and each stage's fraction of that total.
+	// Fractions are wall-clock-independent-ish — a stage whose share grows
+	// got slower relative to the others — which is what CI's stage-time
+	// regression gate compares against the committed baseline.
+	Stages map[string]stageSeconds `json:"stages,omitempty"`
+	Note   string                  `json:"note,omitempty"`
+}
+
+// stageSeconds is one CAD stage's share of an experiment's pooled run.
+type stageSeconds struct {
+	Seconds  float64 `json:"seconds"`
+	Fraction float64 `json:"fraction"`
+}
+
+// cadStages maps breakdown names to the flow's per-stage duration
+// histograms (see internal/flow).
+var cadStages = []struct{ name, hist string }{
+	{"map", "flow.map_ns"},
+	{"place", "flow.place_ns"},
+	{"route", "flow.route_ns"},
+	{"bitgen", "flow.bitgen_ns"},
+}
+
+// stageSums reads the running nanosecond totals of the per-stage duration
+// histograms; the delta across a region is the stage time it spent.
+func stageSums() map[string]int64 {
+	m := make(map[string]int64, len(cadStages))
+	for _, s := range cadStages {
+		m[s.name] = obs.GetHistogram(s.hist).Sum()
+	}
+	return m
+}
+
+// stageBreakdown converts before/after histogram sums into the per-stage
+// seconds and fractions of one pooled run (nil if no stage ran).
+func stageBreakdown(before, after map[string]int64) map[string]stageSeconds {
+	var total float64
+	for _, s := range cadStages {
+		total += float64(after[s.name] - before[s.name])
+	}
+	if total <= 0 {
+		return nil
+	}
+	out := make(map[string]stageSeconds, len(cadStages))
+	for _, s := range cadStages {
+		ns := float64(after[s.name] - before[s.name])
+		out[s.name] = stageSeconds{Seconds: ns / 1e9, Fraction: ns / total}
+	}
+	return out
 }
 
 // cacheRecord is the -json view of cache.Stats.
@@ -151,6 +207,7 @@ func run() int {
 		part     = flag.String("part", "XCV50", "device for CAD-heavy experiments")
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "worker pool width for independent CAD runs (0 = all cores, or $JPG_WORKERS)")
+		starts   = flag.Int("starts", 0, "annealing starts per placement; the best placement wins (0/1 = single start)")
 		jsonPath = flag.String("json", "", "write a serial-vs-parallel perf record to this file")
 		tracePth = flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) of the pooled runs to this file")
 		metrics  = flag.Bool("metrics", false, "print the metrics registry snapshot and per-stage span summary after the run")
@@ -200,7 +257,7 @@ func run() int {
 		}()
 	}
 	cfg := experiments.Config{
-		Part: *part, Seed: *seed, Quick: *quick, Workers: *workers,
+		Part: *part, Seed: *seed, Quick: *quick, Workers: *workers, Starts: *starts,
 		Faults: *faultStr, Retries: *retries, DownloadTimeout: *dlTmout,
 	}
 	var bcache *cache.Cache
@@ -224,6 +281,7 @@ func run() int {
 	record := perfRecord{
 		Tool: "jpgbench", Part: *part, Seed: *seed, Quick: *quick,
 		NumCPU: runtime.NumCPU(), RequestedWorkers: *workers, Workers: *workers,
+		RequestedStarts: *starts,
 	}
 	if record.Workers == 0 {
 		record.Workers = parallel.DefaultWorkers()
@@ -251,6 +309,7 @@ func run() int {
 			}
 			serial = time.Since(t0)
 		}
+		stagesBefore := stageSums()
 		t0 := time.Now()
 		tab, err := exp.run(cfg)
 		if err != nil {
@@ -259,6 +318,7 @@ func run() int {
 			continue
 		}
 		elapsed := time.Since(t0)
+		stagesAfter := stageSums()
 		fmt.Print(tab.Render())
 		fmt.Printf("(%s ran in %v)\n\n", strings.ToUpper(exp.id), elapsed.Round(time.Millisecond))
 		for _, n := range tab.Notes {
@@ -271,6 +331,7 @@ func run() int {
 				ID:              exp.id,
 				SerialSeconds:   serial.Seconds(),
 				ParallelSeconds: elapsed.Seconds(),
+				Stages:          stageBreakdown(stagesBefore, stagesAfter),
 			}
 			switch {
 			case record.Workers <= 1:

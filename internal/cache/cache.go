@@ -403,6 +403,44 @@ func (c *Cache) GetOrCompute(stage string, k Key, compute func() ([]byte, error)
 	}
 }
 
+// Touch probes for (stage, key) without computing. A memory hit bumps the
+// entry's LRU position; a memory miss falls through to the disk tier and
+// promotes the bytes on success. The probe counts toward the stage's
+// hit/miss statistics exactly like a GetOrCompute lookup, so a warm path
+// satisfied by a downstream stage's entry (e.g. a route hit short-circuiting
+// the nested place lookup) can still account for the upstream stage
+// truthfully instead of reporting nothing — the accounting hole behind the
+// historical "place stage: 0% hit rate" in the perf records. Nil caches
+// report a miss without counting.
+func (c *Cache) Touch(stage string, k Key) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	if e := c.entries[k]; e != nil {
+		c.lru.MoveToFront(e.elem)
+		c.countHit(stage)
+		c.mu.Unlock()
+		return true
+	}
+	disk := c.disk
+	c.mu.Unlock()
+	if disk != nil {
+		if data, ok := disk.get(stage, k); ok {
+			c.mu.Lock()
+			c.insertLocked(stage, k, data, nil, int64(len(data)))
+			c.countHit(stage)
+			mDiskHit.Inc()
+			c.mu.Unlock()
+			return true
+		}
+	}
+	c.mu.Lock()
+	c.countMiss(stage)
+	c.mu.Unlock()
+	return false
+}
+
 // retryAfterFailedFlight re-runs the lookup after waiting on a flight that
 // errored, computing directly if the entry is still absent.
 func (c *Cache) retryAfterFailedFlight(stage string, k Key, compute func() ([]byte, error)) ([]byte, bool, error) {

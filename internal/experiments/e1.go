@@ -92,7 +92,7 @@ func E1(cfg Config) (*Table, error) {
 		bytes int
 	}
 	convResults, err := parallel.MapCtx(ctx, enumerate(scenario), func(ctx context.Context, _ int, combo []designs.Instance) (convRun, error) {
-		full, err := flow.BuildFull(ctx, part, combo, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+		full, err := flow.BuildFull(ctx, part, combo, cfg.flowOpts(cfg.Seed))
 		if err != nil {
 			return convRun{}, fmt.Errorf("E1 conventional: %w", err)
 		}
@@ -116,7 +116,7 @@ func E1(cfg Config) (*Table, error) {
 	for i, rs := range scenario {
 		baseInsts[i] = designs.Instance{Prefix: rs.Prefix, Gen: rs.Variants[0]}
 	}
-	base, err := flow.BuildBase(ctx, part, baseInsts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+	base, err := flow.BuildBase(ctx, part, baseInsts, cfg.flowOpts(cfg.Seed))
 	if err != nil {
 		return nil, fmt.Errorf("E1 base: %w", err)
 	}
@@ -138,7 +138,7 @@ func E1(cfg Config) (*Table, error) {
 		for vi, gen := range rs.Variants {
 			specs = append(specs, flow.VariantSpec{
 				Prefix: rs.Prefix, Gen: gen,
-				Opts: flow.Options{Seed: cfg.Seed + int64(vi), Effort: cfg.Effort},
+				Opts: cfg.flowOpts(cfg.Seed + int64(vi)),
 			})
 			names = append(names, rs.Prefix+gen.Name())
 		}

@@ -83,12 +83,12 @@ func EditStorm(cfg Config) (*Table, *EditStormStats, error) {
 	base, err := flow.BuildBase(ctx, part, []designs.Instance{
 		{Prefix: "u1/", Gen: designs.Counter{Bits: 6}},
 		{Prefix: "u2/", Gen: designs.SBoxBank{N: nBank, Seed: 3}},
-	}, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+	}, cfg.flowOpts(cfg.Seed))
 	if err != nil {
 		return nil, nil, fmt.Errorf("E10 base: %w", err)
 	}
 	gen := designs.SBoxBank{N: nBank, Seed: 9}
-	vopts := flow.Options{Seed: cfg.Seed + 1, Effort: cfg.Effort}
+	vopts := cfg.flowOpts(cfg.Seed + 1)
 	variant, err := flow.BuildVariant(ctx, base, "u2/", gen, vopts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("E10 variant: %w", err)

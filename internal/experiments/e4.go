@@ -53,14 +53,14 @@ func E4(cfg Config) (*Table, error) {
 		err := parallel.DoCtx(ctx, []func(context.Context) error{
 			func(ctx context.Context) error {
 				var err error
-				if full, err = flow.BuildFull(ctx, part, insts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort}); err != nil {
+				if full, err = flow.BuildFull(ctx, part, insts, cfg.flowOpts(cfg.Seed)); err != nil {
 					return fmt.Errorf("E4 full n=%d: %w", n, err)
 				}
 				return nil
 			},
 			func(ctx context.Context) error {
 				var err error
-				if base, err = flow.BuildBase(ctx, part, insts, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort}); err != nil {
+				if base, err = flow.BuildBase(ctx, part, insts, cfg.flowOpts(cfg.Seed)); err != nil {
 					return fmt.Errorf("E4 base n=%d: %w", n, err)
 				}
 				return nil
@@ -69,7 +69,7 @@ func E4(cfg Config) (*Table, error) {
 		if err != nil {
 			return sizeResult{}, err
 		}
-		variant, err := flow.BuildVariant(ctx, base, "u1/", designs.SBoxBank{N: n, Seed: 9}, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+		variant, err := flow.BuildVariant(ctx, base, "u1/", designs.SBoxBank{N: n, Seed: 9}, cfg.flowOpts(cfg.Seed))
 		if err != nil {
 			return sizeResult{}, fmt.Errorf("E4 variant n=%d: %w", n, err)
 		}

@@ -53,11 +53,11 @@ func E5(cfg Config) (*Table, error) {
 		base, err := flow.BuildBase(ctx, part, []designs.Instance{
 			{Prefix: "u1/", Gen: sw.baseGen},
 			{Prefix: "u2/", Gen: sw.otherG},
-		}, flow.Options{Seed: cfg.Seed + int64(si), Effort: cfg.Effort})
+		}, cfg.flowOpts(cfg.Seed+int64(si)))
 		if err != nil {
 			return nil, fmt.Errorf("E5 %s base: %w", sw.name, err)
 		}
-		variant, err := flow.BuildVariant(ctx, base, "u1/", sw.varGen, flow.Options{Seed: cfg.Seed + 100 + int64(si), Effort: cfg.Effort})
+		variant, err := flow.BuildVariant(ctx, base, "u1/", sw.varGen, cfg.flowOpts(cfg.Seed+100+int64(si)))
 		if err != nil {
 			return nil, fmt.Errorf("E5 %s variant: %w", sw.name, err)
 		}

@@ -30,7 +30,7 @@ func E6(cfg Config) (*Table, error) {
 	base, err := flow.BuildBase(ctx, part, []designs.Instance{
 		{Prefix: "u1/", Gen: baseGen},
 		{Prefix: "u2/", Gen: otherGen},
-	}, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+	}, cfg.flowOpts(cfg.Seed))
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +62,7 @@ func E6(cfg Config) (*Table, error) {
 	}
 
 	// JPG: constrained variant CAD + replay through the base bitstream.
-	variant, err := flow.BuildVariant(ctx, base, "u1/", varGen, flow.Options{Seed: cfg.Seed + 1, Effort: cfg.Effort})
+	variant, err := flow.BuildVariant(ctx, base, "u1/", varGen, cfg.flowOpts(cfg.Seed+1))
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +90,7 @@ func E6(cfg Config) (*Table, error) {
 	rebuilt, err := flow.BuildBaseWith(ctx, part, []designs.Instance{
 		{Prefix: "u1/", Gen: varGen},
 		{Prefix: "u2/", Gen: otherGen},
-	}, base.Cons, base.Regions, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+	}, base.Cons, base.Regions, cfg.flowOpts(cfg.Seed))
 	if err != nil {
 		return nil, err
 	}

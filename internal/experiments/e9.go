@@ -22,11 +22,11 @@ func E9(cfg Config) (*Table, error) {
 	base, err := flow.BuildBase(ctx, part, []designs.Instance{
 		{Prefix: "u1/", Gen: designs.SBoxBank{N: 10, Seed: 5}},
 		{Prefix: "u2/", Gen: designs.Counter{Bits: 6}},
-	}, flow.Options{Seed: cfg.Seed, Effort: cfg.Effort})
+	}, cfg.flowOpts(cfg.Seed))
 	if err != nil {
 		return nil, err
 	}
-	original, err := flow.BuildVariant(ctx, base, "u1/", designs.SBoxBank{N: 10, Seed: 7}, flow.Options{Seed: cfg.Seed + 1, Effort: cfg.Effort})
+	original, err := flow.BuildVariant(ctx, base, "u1/", designs.SBoxBank{N: 10, Seed: 7}, cfg.flowOpts(cfg.Seed+1))
 	if err != nil {
 		return nil, err
 	}
@@ -37,9 +37,10 @@ func E9(cfg Config) (*Table, error) {
 	// projects; run them as a two-spec variant farm (each with its own
 	// seed, as before).
 	built, err := flow.BuildVariants(ctx, base, []flow.VariantSpec{
-		{Prefix: "u1/", Gen: revised, Opts: flow.Options{Seed: cfg.Seed + 2, Effort: cfg.Effort}},
+		{Prefix: "u1/", Gen: revised, Opts: cfg.flowOpts(cfg.Seed + 2)},
 		{Prefix: "u1/", Gen: revised, Opts: flow.Options{
 			Seed: cfg.Seed + 3, Effort: 0.05, Guide: flow.GuideFrom(original),
+			Workers: cfg.Workers,
 		}},
 	}, cfg.pool()...)
 	if err != nil {

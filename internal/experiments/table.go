@@ -13,6 +13,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/device"
 	"repro/internal/faults"
+	"repro/internal/flow"
 	"repro/internal/parallel"
 	"repro/internal/xhwif"
 )
@@ -110,6 +111,11 @@ type Config struct {
 	// $JPG_WORKERS), 1 forces strictly serial execution. Results are
 	// byte-identical for any value — only wall-clock changes.
 	Workers int
+	// Starts runs every placement as this many independently seeded
+	// multi-start anneals, keeping the best (see flow.Options.Starts).
+	// Unlike Workers it changes which placement wins, so results depend on
+	// it — but not on how many workers ran the starts. <= 0 means 1.
+	Starts int
 	// Ctx carries the run's observability context (an obs.Collector
 	// attached by jpgbench -trace); nil means context.Background().
 	// Tracing never changes results — only what gets recorded.
@@ -175,6 +181,21 @@ func (c Config) ctx() context.Context {
 // parallel.Map/Do dispatches inside experiments.
 func (c Config) pool() []parallel.Option {
 	return []parallel.Option{parallel.WithWorkers(c.Workers)}
+}
+
+// flowOpts renders the config as flow options for one CAD run with the given
+// seed — the single point where experiment knobs (effort, multi-start width,
+// pool width) reach the flow layer.
+func (c Config) flowOpts(seed int64) flow.Options {
+	return flow.Options{Seed: seed, Effort: c.Effort, Starts: c.Starts, Workers: c.Workers}
+}
+
+// flowOptsEffort is flowOpts with an explicit effort override (used by the
+// effort-sweep experiment E8).
+func (c Config) flowOptsEffort(seed int64, effort float64) flow.Options {
+	o := c.flowOpts(seed)
+	o.Effort = effort
+	return o
 }
 
 func (c Config) withDefaults() Config {

@@ -37,16 +37,23 @@ import (
 
 // Fingerprint returns a stable content hash of the options, for use as a
 // CAD cache key component. Effort is normalised the way the placer
-// normalises it (<= 0 means 1.0), and the guide map is hashed in sorted
-// order since its iteration order is irrelevant to placement.
+// normalises it (<= 0 means 1.0), Starts the way the multi-start placer
+// normalises it (<= 0 means 1), and the guide map is hashed in sorted order
+// since its iteration order is irrelevant to placement. Workers is
+// deliberately absent: it changes scheduling, never results.
 func (o Options) Fingerprint() string {
-	h := cache.NewHasher("flow.options/v1")
+	h := cache.NewHasher("flow.options/v2")
 	h.Int("seed", o.Seed)
 	effort := o.Effort
 	if effort <= 0 {
 		effort = 1.0
 	}
 	h.Float("effort", effort)
+	starts := o.Starts
+	if starts <= 0 {
+		starts = 1
+	}
+	h.Int("starts", int64(starts))
 	h.Int("guide", int64(len(o.Guide)))
 	names := make([]string, 0, len(o.Guide))
 	for name := range o.Guide {
@@ -193,14 +200,14 @@ func runCached(ctx context.Context, c *cache.Cache, p *device.Part, nl *netlist.
 	// after waiting out another worker's in-flight computation) it stays nil
 	// and the cached NCD bytes are bound onto the netlist below.
 	var pd *phys.Design
-	placeOpts := place.Options{Seed: opts.Seed, Constraints: cons, Effort: opts.Effort, Guide: opts.Guide}
+	placeOpts := opts.placeOptions(cons)
 
 	routeStart := time.Now()
 	ncdBytes, routeHit, err := c.GetOrCompute("route", kRoute, func() ([]byte, error) {
 		t0 := time.Now()
-		_, sp := obs.Start(ctx, "place")
+		pctx, sp := obs.Start(ctx, "place")
 		placedNCD, placeHit, err := c.GetOrCompute("place", kPlace, func() ([]byte, error) {
-			d, err := place.Place(p, nl, placeOpts)
+			d, err := place.PlaceCtx(pctx, p, nl, placeOpts)
 			if err != nil {
 				return nil, err
 			}
@@ -214,7 +221,7 @@ func runCached(ctx context.Context, c *cache.Cache, p *device.Part, nl *netlist.
 			pd, bindErr = bindNCD(placedNCD, p, nl)
 			if bindErr != nil {
 				c.Remove("place", kPlace)
-				pd, err = place.Place(p, nl, placeOpts)
+				pd, err = place.PlaceCtx(pctx, p, nl, placeOpts)
 				placeHit = false
 			}
 		}
@@ -230,8 +237,8 @@ func runCached(ctx context.Context, c *cache.Cache, p *device.Part, nl *netlist.
 		logStage(ctx, "place", a.Times.Place)
 
 		t0 = time.Now()
-		_, rsp := obs.Start(ctx, "route")
-		err = route.Route(pd, route.Options{RegionForNet: rfn})
+		rctx, rsp := obs.Start(ctx, "route")
+		err = route.RouteCtx(rctx, pd, route.Options{RegionForNet: rfn})
 		rsp.SetStr("cache", "miss")
 		rsp.EndErr(err)
 		logCache(ctx, "route", false)
@@ -256,10 +263,14 @@ func runCached(ctx context.Context, c *cache.Cache, p *device.Part, nl *netlist.
 			return runStages(ctx, p, nl, cons, rfn, opts, synthTime)
 		}
 		a.Times.Route = time.Since(routeStart)
+		// The route hit short-circuited the nested place lookup; probe the
+		// place entry for real so the stage's hit/miss accounting reflects
+		// this run (and the entry's LRU position tracks its use).
+		placeHit := c.Touch("place", kPlace)
 		_, sp := obs.Start(ctx, "place")
-		sp.SetStr("cache", hitStr(true))
+		sp.SetStr("cache", hitStr(placeHit))
 		sp.End()
-		logCache(ctx, "place", true)
+		logCache(ctx, "place", placeHit)
 		_, sp = obs.Start(ctx, "route")
 		sp.SetStr("cache", hitStr(routeHit))
 		sp.End()

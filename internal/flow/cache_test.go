@@ -84,10 +84,10 @@ func TestStageKeysGolden(t *testing.T) {
 	kXDL := XDLKey(kRoute)
 
 	want := map[string]string{
-		"place":  "db211fcb54fd827a5e5c1090a6c6f6fdde2e1353bae844b7722a2d98b684c301",
-		"route":  "47ea3a4e239ef02b1b932f20baedfdb628af1c3e83518036a020608e771e414e",
-		"bitgen": "b2352f87609392fad1bb08bedb9ad79be078388ced7874e8bc09772e5ae32792",
-		"xdl":    "490ff815aee20952bed8072a5a83efaae88da40ddcd2aec9dacad1b66bd58890",
+		"place":  "4fcbc885080650edbd519d3230526901d28e1936a8e497442ee17f52f88af4b0",
+		"route":  "462d066a85eff0b7c44756115cca53c9d15ca42750ef4cd7393ecb0c517ef455",
+		"bitgen": "8d0200505c703f7054e3a3caa76cb5cf8eabe842c6517381c8fbc3b4af810e1a",
+		"xdl":    "33ab082d4d3f3b5b66b4a8d136a10bb7cd2b76dffb241de044b5da284db6be7e",
 	}
 	got := map[string]string{
 		"place":  kPlace.String(),
@@ -144,16 +144,19 @@ func TestCachedBuildByteIdentical(t *testing.T) {
 	}
 
 	st := c.Stats()
-	for _, stage := range []string{"route", "bitgen", "xdl"} {
+	for _, stage := range []string{"place", "route", "bitgen", "xdl"} {
 		s := st.Stages[stage]
 		if s.Hits == 0 {
 			t.Errorf("stage %q never hit on the warm run (stats %+v)", stage, st)
 		}
 	}
 	// The place stage is keyed inside the route compute; a warm route hit
-	// short-circuits it, so it sees exactly the cold run's single miss.
-	if s := st.Stages["place"]; s.Misses != 1 {
-		t.Errorf("place stage: %+v, want exactly 1 miss", s)
+	// short-circuits the nested lookup, but the warm path probes the place
+	// entry directly (cache.Touch) so the stage still reports this run: the
+	// cold run's single miss plus a hit per warm rerun — a 0% place hit rate
+	// on a warm cache was the regression this pins down.
+	if s := st.Stages["place"]; s.Misses != 1 || s.Hits == 0 {
+		t.Errorf("place stage: %+v, want exactly 1 miss and >= 1 hit", s)
 	}
 }
 

@@ -97,6 +97,27 @@ type Options struct {
 	// place.Options.Guide); combine with a low Effort for incremental
 	// re-implementation, the role of the Xilinx flow's guide files.
 	Guide map[string]phys.Site
+	// Starts runs this many independently seeded placement starts and keeps
+	// the best (see place.Options.Starts). It changes which placement is
+	// chosen, so it is part of the flow's result identity (fingerprinted
+	// into cache keys); <= 0 means 1.
+	Starts int
+	// Workers bounds the pool the multi-start placement runs on. Execution
+	// only — never part of cache keys, never visible in results; <= 0
+	// selects parallel.DefaultWorkers().
+	Workers int
+}
+
+// placeOptions renders the flow options as placer options.
+func (o Options) placeOptions(cons *ucf.Constraints) place.Options {
+	return place.Options{
+		Seed:        o.Seed,
+		Constraints: cons,
+		Effort:      o.Effort,
+		Guide:       o.Guide,
+		Starts:      o.Starts,
+		Workers:     o.Workers,
+	}
 }
 
 // GuideFrom extracts a placement guide from a previous run's artifacts.
@@ -282,8 +303,8 @@ func runStages(ctx context.Context, p *device.Part, nl *netlist.Design, cons *uc
 	mMapNS.Observe(synthTime.Nanoseconds())
 
 	t0 := time.Now()
-	_, sp := obs.Start(ctx, "place")
-	pd, err := place.Place(p, nl, place.Options{Seed: opts.Seed, Constraints: cons, Effort: opts.Effort, Guide: opts.Guide})
+	pctx, sp := obs.Start(ctx, "place")
+	pd, err := place.PlaceCtx(pctx, p, nl, opts.placeOptions(cons))
 	sp.EndErr(err)
 	if err != nil {
 		obs.CountError("place")
@@ -300,8 +321,8 @@ func runStages(ctx context.Context, p *device.Part, nl *netlist.Design, cons *uc
 		return a, err
 	}
 	t0 = time.Now()
-	_, sp = obs.Start(ctx, "route")
-	err = route.Route(pd, route.Options{RegionForNet: rfn})
+	rctx, sp := obs.Start(ctx, "route")
+	err = route.RouteCtx(rctx, pd, route.Options{RegionForNet: rfn})
 	sp.EndErr(err)
 	if err != nil {
 		obs.CountError("route")

@@ -465,10 +465,13 @@ func wrapBoard(board *xhwif.Board, d *DownloadRequest) (xhwif.HWIF, error) {
 // variant re-implements one instance (paper Phase 2) and generates its
 // partial bitstream against the freshly built base.
 type BuildRequest struct {
-	Part      string          `json:"part"`
-	Instances string          `json:"instances"`
-	Seed      int64           `json:"seed,omitempty"`
-	Variant   *VariantRequest `json:"variant,omitempty"`
+	Part      string `json:"part"`
+	Instances string `json:"instances"`
+	Seed      int64  `json:"seed,omitempty"`
+	// Starts runs multi-start placement with this many independently seeded
+	// anneals (best placement wins; deterministic for any worker count).
+	Starts  int             `json:"starts,omitempty"`
+	Variant *VariantRequest `json:"variant,omitempty"`
 }
 
 // VariantRequest names one Phase 2 re-implementation.
@@ -539,7 +542,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		s.fail(ctx, w, "build", http.StatusBadRequest, err)
 		return
 	}
-	base, err := flow.BuildBase(ctx, part, insts, flow.Options{Seed: req.Seed})
+	base, err := flow.BuildBase(ctx, part, insts, flow.Options{Seed: req.Seed, Starts: req.Starts})
 	if err != nil {
 		s.fail(ctx, w, "build", http.StatusInternalServerError, err)
 		return
@@ -560,7 +563,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 			s.fail(ctx, w, "build", http.StatusBadRequest, err)
 			return
 		}
-		va, err := flow.BuildVariant(ctx, base, v.Prefix, gen, flow.Options{Seed: v.Seed})
+		va, err := flow.BuildVariant(ctx, base, v.Prefix, gen, flow.Options{Seed: v.Seed, Starts: req.Starts})
 		if err != nil {
 			s.fail(ctx, w, "build", http.StatusInternalServerError, err)
 			return

@@ -111,7 +111,11 @@ type Export struct {
 // warm-rerun timings and per-stage hit rates) to the jpgbench record.
 // Version 4 added derived histogram quantiles (p50/p95/p99) to metric
 // snapshots and error status (err) to span records.
-const ExportVersion = 4
+// Version 5 added multi-start placement metadata (requested_starts) and a
+// per-stage breakdown (seconds and fraction of CAD time in map, place,
+// route and bitgen) to each jpgbench experiment record, the numbers CI's
+// stage-time regression gate compares against its committed baseline.
+const ExportVersion = 5
 
 // Export snapshots the collector's spans together with the registry's
 // metrics.

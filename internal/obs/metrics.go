@@ -77,6 +77,11 @@ func bucketFor(v int64) int {
 	return bits.Len64(uint64(v)) // 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...
 }
 
+// Sum returns the running total of all observations — the cheap way to
+// meter accumulated time (e.g. nanoseconds in a stage) without taking a full
+// snapshot: read it before and after a region and subtract.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
 	if h.count.Add(1) == 1 {

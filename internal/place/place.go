@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,8 @@ import (
 	"repro/internal/device"
 	"repro/internal/frames"
 	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/phys"
 	"repro/internal/ucf"
 )
@@ -26,16 +29,47 @@ type Options struct {
 	// a revised design starts from the old placement instead of randomness,
 	// so low-effort incremental runs converge to comparable quality.
 	Guide map[string]phys.Site
+	// Starts runs this many independently seeded annealing starts and keeps
+	// the lowest-cost placement (ties broken by the lowest start index).
+	// Every start derives its seed from Seed and its index alone, so the
+	// chosen placement is byte-identical for any Workers value. <= 0 means 1
+	// (plain single-start annealing, identical to Starts == 1 with the run
+	// seeded by Seed itself).
+	Starts int
+	// Workers bounds the pool multi-start annealing runs on; it changes
+	// wall-clock only, never the result. <= 0 selects
+	// parallel.DefaultWorkers().
+	Workers int
 }
+
+// Placement metrics (always on; see internal/obs): annealing inner-loop
+// volume and the multi-start fan-out, the counters behind the paper's C3
+// "CAD time" claim at the placement stage.
+var (
+	mStarts   = obs.GetCounter("place.starts")
+	mMoves    = obs.GetCounter("place.moves_proposed")
+	mAccepted = obs.GetCounter("place.moves_accepted")
+	mRecomps  = obs.GetCounter("place.bbox_recomputes")
+)
 
 // Place packs and places the netlist on the part, returning a physical
 // design with Cells and Ports assigned (Routes left for the router).
 func Place(p *device.Part, nl *netlist.Design, opts Options) (*phys.Design, error) {
+	return PlaceCtx(context.Background(), p, nl, opts)
+}
+
+// PlaceCtx is Place with a context for observability (one "place.start" span
+// per annealing start) and for scheduling the multi-start pool.
+func PlaceCtx(ctx context.Context, p *device.Part, nl *netlist.Design, opts Options) (*phys.Design, error) {
 	if err := nl.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.Effort <= 0 {
 		opts.Effort = 1.0
+	}
+	starts := opts.Starts
+	if starts <= 0 {
+		starts = 1
 	}
 	cons := opts.Constraints
 	if cons != nil {
@@ -47,39 +81,88 @@ func Place(p *device.Part, nl *netlist.Design, opts Options) (*phys.Design, erro
 	if err != nil {
 		return nil, err
 	}
-	pl := &placer{
-		part:  p,
-		nl:    nl,
-		les:   les,
-		cons:  cons,
-		guide: opts.Guide,
-		rng:   rand.New(rand.NewSource(opts.Seed)),
-	}
-	if err := pl.assignPads(); err != nil {
-		return nil, err
-	}
-	if err := pl.regions(); err != nil {
-		return nil, err
-	}
-	if err := pl.initial(); err != nil {
-		return nil, err
-	}
-	pl.anneal(opts.Effort)
 
-	d := phys.NewDesign(p, nl)
-	for i, e := range les {
-		site := pl.siteOf[i]
-		for _, c := range e.cells() {
-			d.Cells[c] = site
+	// Each start is an independent anneal driven solely by its derived seed;
+	// the packed LEs and the netlist are shared read-only. Results are
+	// collected by start index, so the winner — lowest cost, ties to the
+	// lowest index — is byte-identical no matter how many workers ran the
+	// batch (or whether it ran at all: one start short-circuits the pool).
+	runs := make([]*placer, starts)
+	runStart := func(s int) error {
+		pl := newPlacer(p, nl, les, cons, opts.Guide, startSeed(opts.Seed, s))
+		if err := pl.run(opts.Effort); err != nil {
+			return err
+		}
+		runs[s] = pl
+		return nil
+	}
+	if starts == 1 {
+		if err := runStart(0); err != nil {
+			return nil, err
+		}
+	} else {
+		err := parallel.ForEachNCtx(ctx, starts, func(ctx context.Context, s int) error {
+			_, sp := obs.Start(ctx, "place.start")
+			sp.SetInt("start", int64(s))
+			err := runStart(s)
+			if err == nil {
+				sp.SetInt("cost", runs[s].cost)
+				sp.SetInt("moves", runs[s].moves)
+			}
+			sp.EndErr(err)
+			return err
+		}, parallel.WithWorkers(opts.Workers))
+		if err != nil {
+			return nil, err
 		}
 	}
-	for _, port := range nl.Ports {
-		d.Ports[port] = pl.padOf[port]
+	best := runs[0]
+	for _, pl := range runs[1:] {
+		if pl.cost < best.cost {
+			best = pl
+		}
 	}
-	if err := d.CheckPlacement(); err != nil {
-		return nil, fmt.Errorf("place: internal error: %w", err)
+	return best.design()
+}
+
+// startSeed derives the seed of one annealing start. Start 0 keeps the
+// caller's seed (so Starts == 1 reproduces a plain Place run bit for bit);
+// later starts mix the index in through a splitmix64 finalizer, decorrelating
+// them from each other and from neighbouring caller seeds (callers commonly
+// use Seed, Seed+1, ...).
+func startSeed(seed int64, s int) int64 {
+	if s == 0 {
+		return seed
 	}
-	return d, nil
+	z := uint64(seed) + uint64(s)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// lePin is one logic element's connection to a tracked net: the net's index
+// and how many member cells of the LE pin into it.
+type lePin struct {
+	net  int32
+	mult int32
+}
+
+// netBB is a net's bounding box over its placed pins plus the number of pins
+// lying exactly on each boundary. Moves update it incrementally: growing is
+// O(1); shrinking decrements the boundary count and only rescans the net's
+// pins when the count hits zero — the classic incremental-HPWL bookkeeping
+// (cf. VPR), which turns the anneal loop's per-move cost from O(pins of all
+// affected nets) map-walking into a handful of integer compares.
+type netBB struct {
+	minR, maxR, minC, maxC     int32
+	nMinR, nMaxR, nMinC, nMaxC int32
+}
+
+func (b *netBB) hpwl() int64 {
+	return int64(b.maxR-b.minR) + int64(b.maxC-b.minC)
 }
 
 type placer struct {
@@ -92,12 +175,76 @@ type placer struct {
 
 	region []frames.Region // allowed region per LE
 	siteOf []phys.Site
-	occ    map[phys.Site]int // site -> LE index
+	occ    []int32 // site index -> LE index, -1 free
 	padOf  map[*netlist.Port]device.Pad
 
 	cellLE map[*netlist.Cell]int
-	// netsOfLE caches the nets each LE touches (for incremental cost).
-	netsOfLE [][]*netlist.Net
+
+	// Incremental cost model (built once the initial placement exists).
+	nets    []*netlist.Net // tracked nets (non-clock, driven, >= 1 pin)
+	lePins  [][]lePin      // per LE: tracked nets it pins into
+	netLEs  [][]int32      // per net: member LE indices (with multiplicity)
+	netPads [][]phys.Site  // per net: static pad tiles (Row/Col only)
+	bb      []netBB
+	cost    int64 // total HPWL over tracked nets
+
+	// Inner-loop counters, flushed to the obs registry once per run.
+	moves, accepted, recomputes int64
+}
+
+func newPlacer(p *device.Part, nl *netlist.Design, les []*le, cons *ucf.Constraints,
+	guide map[string]phys.Site, seed int64) *placer {
+	return &placer{
+		part:  p,
+		nl:    nl,
+		les:   les,
+		cons:  cons,
+		guide: guide,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// run executes one complete annealing start.
+func (pl *placer) run(effort float64) error {
+	if err := pl.assignPads(); err != nil {
+		return err
+	}
+	if err := pl.regions(); err != nil {
+		return err
+	}
+	if err := pl.initial(); err != nil {
+		return err
+	}
+	pl.buildCostModel()
+	pl.anneal(effort)
+	mStarts.Inc()
+	mMoves.Add(pl.moves)
+	mAccepted.Add(pl.accepted)
+	mRecomps.Add(pl.recomputes)
+	return nil
+}
+
+// design renders the placement as a physical design.
+func (pl *placer) design() (*phys.Design, error) {
+	d := phys.NewDesign(pl.part, pl.nl)
+	for i, e := range pl.les {
+		site := pl.siteOf[i]
+		for _, c := range e.cells() {
+			d.Cells[c] = site
+		}
+	}
+	for _, port := range pl.nl.Ports {
+		d.Ports[port] = pl.padOf[port]
+	}
+	if err := d.CheckPlacement(); err != nil {
+		return nil, fmt.Errorf("place: internal error: %w", err)
+	}
+	return d, nil
+}
+
+// siteIdx flattens a site into the occupancy array.
+func (pl *placer) siteIdx(s phys.Site) int {
+	return ((s.Row*pl.part.Cols+s.Col)*2+s.Slice)*2 + s.LE
 }
 
 // assignPads binds ports to pads: UCF NET LOCs first, then unconstrained
@@ -191,7 +338,10 @@ func (pl *placer) regions() error {
 // positions, then random legal sites for whatever remains.
 func (pl *placer) initial() error {
 	pl.siteOf = make([]phys.Site, len(pl.les))
-	pl.occ = map[phys.Site]int{}
+	pl.occ = make([]int32, pl.part.Rows*pl.part.Cols*4)
+	for i := range pl.occ {
+		pl.occ[i] = -1
+	}
 	placed := make([]bool, len(pl.les))
 	for i, e := range pl.les {
 		if !e.fixed {
@@ -231,21 +381,65 @@ func (pl *placer) initial() error {
 		pl.put(i, s)
 		placed[i] = true
 	}
+	return nil
+}
+
+// buildCostModel precomputes the per-net pin lists and bounding boxes the
+// incremental HPWL bookkeeping works on. Tracked nets are exactly the ones
+// the cost function always covered: non-clock, driven. Pin positions are LE
+// sites (updated by moves) plus static pad tiles.
+func (pl *placer) buildCostModel() {
 	pl.cellLE = leOf(pl.les)
-	pl.netsOfLE = make([][]*netlist.Net, len(pl.les))
+	pl.lePins = make([][]lePin, len(pl.les))
 	for _, n := range pl.nl.Nets {
 		if n.IsClock || !n.Driven() {
 			continue
 		}
-		touched := map[int]bool{}
+		k := int32(len(pl.nets))
+		var leIdx []int32
 		forEachNetCell(n, func(c *netlist.Cell) {
-			if idx, ok := pl.cellLE[c]; ok && !touched[idx] {
-				touched[idx] = true
-				pl.netsOfLE[idx] = append(pl.netsOfLE[idx], n)
+			if idx, ok := pl.cellLE[c]; ok {
+				leIdx = append(leIdx, int32(idx))
 			}
 		})
+		var pads []phys.Site
+		if n.DriverPort != nil {
+			r, c := pl.part.PadTile(pl.padOf[n.DriverPort])
+			pads = append(pads, phys.Site{Row: r, Col: c})
+		}
+		for _, p := range n.SinkPorts {
+			r, c := pl.part.PadTile(pl.padOf[p])
+			pads = append(pads, phys.Site{Row: r, Col: c})
+		}
+		if len(leIdx) == 0 && len(pads) == 0 {
+			continue
+		}
+		pl.nets = append(pl.nets, n)
+		pl.netLEs = append(pl.netLEs, leIdx)
+		pl.netPads = append(pl.netPads, pads)
+		// Per-LE pin multiplicities (an LE may carry several cells of one
+		// net; its move then moves that many pins).
+		for _, idx := range leIdx {
+			pins := pl.lePins[idx]
+			found := false
+			for pi := range pins {
+				if pins[pi].net == k {
+					pins[pi].mult++
+					found = true
+					break
+				}
+			}
+			if !found {
+				pl.lePins[idx] = append(pins, lePin{net: k, mult: 1})
+			}
+		}
 	}
-	return nil
+	pl.bb = make([]netBB, len(pl.nets))
+	pl.cost = 0
+	for k := range pl.nets {
+		pl.recomputeBB(k)
+		pl.cost += pl.bb[k].hpwl()
+	}
 }
 
 func forEachNetCell(n *netlist.Net, f func(*netlist.Cell)) {
@@ -257,15 +451,100 @@ func forEachNetCell(n *netlist.Net, f func(*netlist.Cell)) {
 	}
 }
 
+// recomputeBB rebuilds one net's bounding box and boundary counts from its
+// current pin positions.
+func (pl *placer) recomputeBB(k int) {
+	b := &pl.bb[k]
+	*b = netBB{minR: math.MaxInt32, maxR: -1, minC: math.MaxInt32, maxC: -1}
+	for _, s := range pl.netPads[k] {
+		addDim(&b.minR, &b.maxR, &b.nMinR, &b.nMaxR, int32(s.Row), 1)
+		addDim(&b.minC, &b.maxC, &b.nMinC, &b.nMaxC, int32(s.Col), 1)
+	}
+	for _, idx := range pl.netLEs[k] {
+		s := pl.siteOf[idx]
+		addDim(&b.minR, &b.maxR, &b.nMinR, &b.nMaxR, int32(s.Row), 1)
+		addDim(&b.minC, &b.maxC, &b.nMinC, &b.nMaxC, int32(s.Col), 1)
+	}
+}
+
+// addDim folds one pin coordinate into one dimension of a bounding box.
+func addDim(min, max, nMin, nMax *int32, v, mult int32) {
+	switch {
+	case v < *min:
+		*min, *nMin = v, mult
+	case v == *min:
+		*nMin += mult
+	}
+	switch {
+	case v > *max:
+		*max, *nMax = v, mult
+	case v == *max:
+		*nMax += mult
+	}
+}
+
+// removeDim retracts one pin coordinate from one dimension; it reports
+// whether a boundary lost its last pin, requiring a full rescan.
+func removeDim(min, max, nMin, nMax *int32, v int32) bool {
+	rescan := false
+	if v == *min {
+		*nMin--
+		rescan = rescan || *nMin == 0
+	}
+	if v == *max {
+		*nMax--
+		rescan = rescan || *nMax == 0
+	}
+	return rescan
+}
+
+// movePin updates net k's bounding box for one LE pin moving between tiles.
+// New coordinates are folded in before old ones are retracted, so a shrink is
+// detected only when the boundary truly empties.
+func (pl *placer) movePin(k int32, from, to phys.Site, mult int32) {
+	b := &pl.bb[k]
+	addDim(&b.minR, &b.maxR, &b.nMinR, &b.nMaxR, int32(to.Row), mult)
+	addDim(&b.minC, &b.maxC, &b.nMinC, &b.nMaxC, int32(to.Col), mult)
+	rescan := false
+	for m := int32(0); m < mult; m++ {
+		rescan = removeDim(&b.minR, &b.maxR, &b.nMinR, &b.nMaxR, int32(from.Row)) || rescan
+		rescan = removeDim(&b.minC, &b.maxC, &b.nMinC, &b.nMaxC, int32(from.Col)) || rescan
+	}
+	if rescan {
+		pl.recomputes++
+		pl.recomputeBB(int(k))
+	}
+}
+
+// moveLE relocates LE i, maintaining occupancy, positions, every touched
+// net's bounding box, and the total cost.
+func (pl *placer) moveLE(i int, to phys.Site) {
+	from := pl.siteOf[i]
+	if fi := pl.siteIdx(from); pl.occ[fi] == int32(i) {
+		pl.occ[fi] = -1
+	}
+	pl.occ[pl.siteIdx(to)] = int32(i)
+	pl.siteOf[i] = to
+	if from.Row == to.Row && from.Col == to.Col {
+		return // same tile: HPWL cannot change
+	}
+	for _, pin := range pl.lePins[i] {
+		b := &pl.bb[pin.net]
+		old := b.hpwl()
+		pl.movePin(pin.net, from, to, pin.mult)
+		pl.cost += pl.bb[pin.net].hpwl() - old
+	}
+}
+
 func (pl *placer) put(i int, s phys.Site) {
-	pl.occ[s] = i
+	pl.occ[pl.siteIdx(s)] = int32(i)
 	pl.siteOf[i] = s
 }
 
 // legalAt reports whether LE i may occupy site s (region, occupancy, and
 // slice clock compatibility).
 func (pl *placer) legalAt(i int, s phys.Site) bool {
-	if _, taken := pl.occ[s]; taken {
+	if pl.occ[pl.siteIdx(s)] >= 0 {
 		return false
 	}
 	if !pl.region[i].Contains(s.Row, s.Col) {
@@ -278,7 +557,7 @@ func (pl *placer) legalAt(i int, s phys.Site) bool {
 	// The two FFs of one slice share CLK/CE/SR pins.
 	if e.ff != nil {
 		other := phys.Site{Row: s.Row, Col: s.Col, Slice: s.Slice, LE: 1 - s.LE}
-		if oi, taken := pl.occ[other]; taken {
+		if oi := pl.occ[pl.siteIdx(other)]; oi >= 0 {
 			of := pl.les[oi].ff
 			if of != nil && !sameCtl(e.ff, of) {
 				return false
@@ -321,8 +600,9 @@ func (pl *placer) randomFreeSite(i int) (phys.Site, bool) {
 	return phys.Site{}, false
 }
 
-// netHPWL computes a net's half-perimeter wirelength over placed pins and
-// pads.
+// netHPWL computes a net's half-perimeter wirelength from scratch — the
+// reference the incremental bookkeeping is validated against (see
+// totalCost), no longer the anneal loop's inner cost function.
 func (pl *placer) netHPWL(n *netlist.Net) float64 {
 	minR, minC := math.MaxInt32, math.MaxInt32
 	maxR, maxC := -1, -1
@@ -352,10 +632,8 @@ func (pl *placer) netHPWL(n *netlist.Net) float64 {
 
 func (pl *placer) totalCost() float64 {
 	cost := 0.0
-	for _, n := range pl.nl.Nets {
-		if !n.IsClock && n.Driven() {
-			cost += pl.netHPWL(n)
-		}
+	for _, n := range pl.nets {
+		cost += pl.netHPWL(n)
 	}
 	return cost
 }
@@ -417,6 +695,13 @@ const measureOnly = -1.0
 
 // tryMove proposes one displacement or swap at temperature temp, applying it
 // per the Metropolis criterion. It returns the applied delta.
+//
+// The cost delta falls out of the incremental bounding-box update: apply the
+// move, read the maintained total, and revert on rejection. HPWL is integer
+// arithmetic throughout, so the delta is exact — identical to the historical
+// rescan of every affected net — and the RNG draw sequence is unchanged,
+// which keeps equal seeds producing equal placements across this
+// optimisation.
 func (pl *placer) tryMove(movable []int, temp float64) (float64, bool) {
 	i := movable[pl.rng.Intn(len(movable))]
 	rg := pl.region[i]
@@ -426,11 +711,13 @@ func (pl *placer) tryMove(movable []int, temp float64) (float64, bool) {
 		Slice: pl.rng.Intn(2),
 		LE:    pl.rng.Intn(2),
 	}
+	pl.moves++
 	from := pl.siteOf[i]
 	if target == from {
 		return 0, false
 	}
-	j, swap := pl.occ[target]
+	ji := pl.occ[pl.siteIdx(target)]
+	j, swap := int(ji), ji >= 0
 	if swap {
 		if pl.les[j].fixed {
 			return 0, false
@@ -446,22 +733,15 @@ func (pl *placer) tryMove(movable []int, temp float64) (float64, bool) {
 		return 0, false
 	}
 
-	affected := pl.affectedNets(i, j, swap)
-	before := 0.0
-	for _, n := range affected {
-		before += pl.netHPWL(n)
-	}
+	before := pl.cost
 	pl.apply(i, target, j, from, swap)
-	after := 0.0
-	for _, n := range affected {
-		after += pl.netHPWL(n)
-	}
-	delta := after - before
+	delta := float64(pl.cost - before)
 	if temp == measureOnly {
 		pl.apply(i, from, j, target, swap)
 		return delta, true
 	}
 	if delta <= 0 || (temp > 0 && pl.rng.Float64() < math.Exp(-delta/temp)) {
+		pl.accepted++
 		return delta, true
 	}
 	// Revert.
@@ -477,43 +757,21 @@ func (pl *placer) slicePairOK(i int, s phys.Site, j int) bool {
 		return true
 	}
 	other := phys.Site{Row: s.Row, Col: s.Col, Slice: s.Slice, LE: 1 - s.LE}
-	oi, taken := pl.occ[other]
-	if !taken || oi == j {
+	oi := pl.occ[pl.siteIdx(other)]
+	if oi < 0 || int(oi) == j {
 		return true
 	}
 	of := pl.les[oi].ff
 	return of == nil || sameCtl(e.ff, of)
 }
 
-func (pl *placer) affectedNets(i, j int, swap bool) []*netlist.Net {
-	if !swap {
-		return pl.netsOfLE[i]
-	}
-	seen := map[*netlist.Net]bool{}
-	var out []*netlist.Net
-	for _, n := range pl.netsOfLE[i] {
-		if !seen[n] {
-			seen[n] = true
-			out = append(out, n)
-		}
-	}
-	for _, n := range pl.netsOfLE[j] {
-		if !seen[n] {
-			seen[n] = true
-			out = append(out, n)
-		}
-	}
-	return out
-}
-
+// apply moves LE i to si and, for swaps, LE j to sj. LEs move one at a time
+// — occupancy, position and bounding boxes stay mutually consistent at every
+// step, so a rescan triggered mid-swap sees a coherent placement.
 func (pl *placer) apply(i int, si phys.Site, j int, sj phys.Site, swap bool) {
-	delete(pl.occ, pl.siteOf[i])
+	pl.moveLE(i, si)
 	if swap {
-		delete(pl.occ, pl.siteOf[j])
-	}
-	pl.put(i, si)
-	if swap {
-		pl.put(j, sj)
+		pl.moveLE(j, sj)
 	}
 }
 

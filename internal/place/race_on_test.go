@@ -1,0 +1,5 @@
+//go:build race
+
+package place
+
+const raceEnabled = true

@@ -1,0 +1,73 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/designs"
+)
+
+// TestRouteNetZeroAlloc pins the PathFinder inner loop at zero allocations
+// per net reroute once the scratch is warm — the routing half of the flow's
+// hot-path contract. Everything a reroute touches (A* frontier, visited
+// stamps, path buffers, the net's own tree) must come from reused storage.
+func TestRouteNetZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	nl, err := designs.Standalone(designs.SBoxBank{N: 16, Seed: 9}, "sb", "u1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := placeDesign(t, "XCV50", nl, nil, 2)
+	nb, err := NewNetBencher(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+	for i := 0; i < 200; i++ {
+		if err := nb.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(500, func() {
+		if err := nb.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("net reroute allocates %.2f objects per net, want 0", allocs)
+	}
+}
+
+// TestNetBencherStepsStaySearchable sanity-checks the bench hook itself:
+// thousands of rip-up/reroute rounds keep occupancy coherent (every tree
+// node claimed exactly once per owning net) so benchmark numbers measure a
+// live router, not a corrupted one.
+func TestNetBencherStepsStaySearchable(t *testing.T) {
+	nl, err := designs.Standalone(designs.Counter{Bits: 8}, "cnt", "u1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := placeDesign(t, "XCV50", nl, nil, 1)
+	nb, err := NewNetBencher(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+	for i := 0; i < 2000; i++ {
+		if err := nb.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	// Rebuild expected occupancy from the trees and compare.
+	want := make(map[int64]int32)
+	for _, fn := range nb.nets {
+		for _, te := range fn.tree {
+			want[int64(te.node)]++
+		}
+	}
+	for node, occ := range nb.r.s.occ {
+		if occ != want[int64(node)] {
+			t.Fatalf("node %d occupancy %d, trees claim %d", node, occ, want[int64(node)])
+		}
+	}
+}

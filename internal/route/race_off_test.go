@@ -1,0 +1,7 @@
+//go:build !race
+
+package route
+
+// raceEnabled reports whether the race detector is on; allocation-count
+// tests skip under it (instrumentation changes what AllocsPerRun sees).
+const raceEnabled = false

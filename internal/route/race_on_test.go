@@ -1,0 +1,5 @@
+//go:build race
+
+package route
+
+const raceEnabled = true

@@ -7,15 +7,26 @@
 // Clock nets are not routed through the fabric: each distinct clock net is
 // assigned a global line and taps it at every sink's CLK pin, as on the real
 // device.
+//
+// The inner loop is allocation-free in steady state: the per-device A*
+// scratch (distance/visited/predecessor arrays, the frontier heap, the path
+// buffers) lives in a sync.Pool keyed by graph size, visited state is
+// epoch-stamped instead of cleared, and searches are bounded to a window
+// around the net before falling back to the full graph.
 package route
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/device"
 	"repro/internal/frames"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/phys"
 )
 
@@ -32,9 +43,26 @@ type Options struct {
 	RegionForNet func(n *netlist.Net) *frames.Region
 }
 
+// Router metrics (always on; see internal/obs): PathFinder convergence and
+// A* search volume, the counters behind the route stage's share of the
+// paper's C3 "CAD time" claim.
+var (
+	mNets       = obs.GetCounter("route.nets")
+	mIters      = obs.GetCounter("route.iterations")
+	mSearches   = obs.GetCounter("route.searches")
+	mRetries    = obs.GetCounter("route.search_retries")
+	mHeapPushes = obs.GetCounter("route.heap_pushes")
+)
+
 // Route routes every net of the placed design, filling d.Routes. On success
 // the routes pass phys.(*Design).CheckRoutes.
 func Route(d *phys.Design, opts Options) error {
+	return RouteCtx(context.Background(), d, opts)
+}
+
+// RouteCtx is Route with a context for observability: each PathFinder
+// iteration is a "route.iter" span carrying its overuse count.
+func RouteCtx(ctx context.Context, d *phys.Design, opts Options) error {
 	if opts.MaxIters <= 0 {
 		opts.MaxIters = 48
 	}
@@ -52,9 +80,17 @@ func Route(d *phys.Design, opts Options) error {
 	if err := r.routeClocks(); err != nil {
 		return err
 	}
-	if err := r.routeFabric(); err != nil {
+	r.s = getScratch(d.Part.NumNodes())
+	defer func() {
+		putScratch(r.s)
+		r.s = nil
+	}()
+	if err := r.routeFabric(ctx); err != nil {
 		return err
 	}
+	mSearches.Add(r.searches)
+	mRetries.Add(r.retries)
+	mHeapPushes.Add(r.pushes)
 	return d.CheckRoutes()
 }
 
@@ -62,15 +98,64 @@ type router struct {
 	d    *phys.Design
 	g    *device.Graph
 	opts Options
+	s    *scratch
 
+	// Inner-loop counters, flushed to the obs registry once per run.
+	searches, retries, pushes int64
+}
+
+// scratch is the reusable per-run router state, sized to one device graph.
+// Runs borrow it from a pool so repeated routing (variant fan-out, cached
+// flows, benchmarks) allocates nothing per net: occupancy and history are
+// memclr'd once per run, while the A* visited state is epoch-stamped — a
+// search bumps the epoch instead of touching N nodes. The epoch survives
+// pool round-trips, so stale stamps can never alias a live search.
+type scratch struct {
+	n    int
 	occ  []int32   // present usage per node
 	hist []float64 // accumulated history cost per node
 
-	// A* scratch, epoch-tagged to avoid clearing between searches.
 	dist    []float64
 	prevPIP []device.PIP // arriving pip per node; Row == -1 marks a tree root
 	seen    []int32
 	epoch   int32
+
+	pq   pipHeap
+	tree []device.NodeID
+	rev  []treeEdge
+}
+
+var scratchPool sync.Pool
+
+func getScratch(n int) *scratch {
+	s, _ := scratchPool.Get().(*scratch)
+	if s == nil || s.n != n {
+		s = &scratch{
+			n:       n,
+			occ:     make([]int32, n),
+			hist:    make([]float64, n),
+			dist:    make([]float64, n),
+			prevPIP: make([]device.PIP, n),
+			seen:    make([]int32, n),
+		}
+	} else {
+		clear(s.occ)
+		clear(s.hist)
+	}
+	return s
+}
+
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// nextEpoch invalidates all visited stamps in O(1). On (rare) wrap the
+// stamps are cleared for real, keeping old epochs from aliasing new ones.
+func (s *scratch) nextEpoch() int32 {
+	if s.epoch == math.MaxInt32 {
+		s.epoch = 0
+		clear(s.seen)
+	}
+	s.epoch++
+	return s.epoch
 }
 
 // routeClocks assigns distinct clock nets to global lines and taps them.
@@ -124,15 +209,11 @@ type treeEdge struct {
 	node device.NodeID // == pip.Dst
 }
 
-func (r *router) routeFabric() error {
+// collectNets gathers the fabric-routable nets in deterministic order:
+// sorted netlist order, then high-fanout first (stable), so the negotiation
+// schedule never depends on map iteration.
+func (r *router) collectNets() ([]*fabricNet, error) {
 	part := r.d.Part
-	n := part.NumNodes()
-	r.occ = make([]int32, n)
-	r.hist = make([]float64, n)
-	r.dist = make([]float64, n)
-	r.prevPIP = make([]device.PIP, n)
-	r.seen = make([]int32, n)
-
 	var nets []*fabricNet
 	for _, net := range r.d.Netlist.SortedNets() {
 		if net.IsClock || !net.Driven() {
@@ -140,14 +221,14 @@ func (r *router) routeFabric() error {
 		}
 		sinks, err := r.d.SinkNodes(net)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if len(sinks) == 0 {
 			continue
 		}
 		src, err := r.d.SourceNode(net)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fn := &fabricNet{net: net, src: src, sinks: sinks}
 		if r.opts.RegionForNet != nil {
@@ -157,25 +238,40 @@ func (r *router) routeFabric() error {
 	}
 	// High-fanout first: they negotiate the scarce resources.
 	sort.SliceStable(nets, func(i, j int) bool { return len(nets[i].sinks) > len(nets[j].sinks) })
+	return nets, nil
+}
+
+func (r *router) routeFabric(ctx context.Context) error {
+	nets, err := r.collectNets()
+	if err != nil {
+		return err
+	}
+	mNets.Add(int64(len(nets)))
 
 	presentFac := r.opts.PresentFactor
 	for iter := 0; iter < r.opts.MaxIters; iter++ {
+		_, sp := obs.Start(ctx, "route.iter")
+		sp.SetInt("iter", int64(iter))
 		for _, fn := range nets {
 			r.ripUp(fn)
 			if err := r.routeNet(fn, presentFac); err != nil {
+				sp.EndErr(err)
 				return fmt.Errorf("route: iteration %d: %w", iter, err)
 			}
 		}
 		over := r.overusedNodes()
+		sp.SetInt("overused", int64(over))
+		sp.EndErr(nil)
+		mIters.Inc()
 		if over == 0 {
 			r.commit(nets)
 			return nil
 		}
 		// Sharpen penalties and accumulate history on congested nodes.
 		presentFac *= 1.7
-		for i := range r.occ {
-			if r.occ[i] > 1 {
-				r.hist[i] += r.opts.HistoryFactor * float64(r.occ[i]-1)
+		for i := range r.s.occ {
+			if r.s.occ[i] > 1 {
+				r.s.hist[i] += r.opts.HistoryFactor * float64(r.s.occ[i]-1)
 			}
 		}
 	}
@@ -185,7 +281,7 @@ func (r *router) routeFabric() error {
 
 func (r *router) overusedNodes() int {
 	over := 0
-	for _, u := range r.occ {
+	for _, u := range r.s.occ {
 		if u > 1 {
 			over++
 		}
@@ -195,7 +291,7 @@ func (r *router) overusedNodes() int {
 
 func (r *router) ripUp(fn *fabricNet) {
 	for _, te := range fn.tree {
-		r.occ[te.node]--
+		r.s.occ[te.node]--
 	}
 	fn.tree = fn.tree[:0]
 }
@@ -213,14 +309,14 @@ func (r *router) commit(nets []*fabricNet) {
 
 // nodeCost is the congestion-aware cost of claiming a node.
 func (r *router) nodeCost(node device.NodeID, presentFac float64) float64 {
-	base := 1.0 + r.hist[node]
-	sharing := float64(r.occ[node]) // claims already held by others
+	base := 1.0 + r.s.hist[node]
+	sharing := float64(r.s.occ[node]) // claims already held by others
 	return base * (1 + presentFac*sharing)
 }
 
 // routeNet routes all sinks of one net, growing a tree.
 func (r *router) routeNet(fn *fabricNet, presentFac float64) error {
-	treeNodes := []device.NodeID{fn.src}
+	treeNodes := append(r.s.tree[:0], fn.src)
 	for _, sink := range fn.sinks {
 		path, err := r.search(treeNodes, sink, presentFac, fn.allow)
 		if err != nil {
@@ -228,22 +324,63 @@ func (r *router) routeNet(fn *fabricNet, presentFac float64) error {
 		}
 		for _, te := range path {
 			fn.tree = append(fn.tree, te)
-			r.occ[te.node]++
+			r.s.occ[te.node]++
 			treeNodes = append(treeNodes, te.node)
 		}
 	}
+	r.s.tree = treeNodes[:0]
 	return nil
 }
 
 // treeRootPIP marks tree roots in prevPIP.
 var treeRootPIP = device.PIP{Row: -1}
 
-// search finds a cheapest path from any tree node to the target using A*.
-// It returns the new edges in source-to-sink order.
+// errNoPath reports a starved search. A sentinel, not fmt.Errorf: bounded
+// searches fail routinely (the unbounded retry absorbs them) and the hot
+// loop must not allocate for an expected outcome.
+var errNoPath = errors.New("no path")
+
+// searchMargin expands the A* window (in tiles) beyond the bounding box of
+// the source tree and the target. Optimal detours under congestion stay
+// local; anything the window cannot reach is caught by the unbounded retry.
+const searchMargin = 3
+
+// search finds a cheapest path from any tree node to the target using A*,
+// returning the new edges in source-to-sink order. The first attempt
+// restricts expansion to a window around the net (plus every off-fabric
+// node: globals, long lines, pads); if the window starves it retries over
+// the whole graph so completeness is never lost.
 func (r *router) search(tree []device.NodeID, target device.NodeID, presentFac float64, allow func(device.PIP) bool) ([]treeEdge, error) {
+	r.searches++
+	path, err := r.searchWindow(tree, target, presentFac, allow, true)
+	if err == nil {
+		return path, nil
+	}
+	r.retries++
+	return r.searchWindow(tree, target, presentFac, allow, false)
+}
+
+func (r *router) searchWindow(tree []device.NodeID, target device.NodeID, presentFac float64, allow func(device.PIP) bool, bounded bool) ([]treeEdge, error) {
 	part := r.d.Part
-	r.epoch++
+	s := r.s
+	epoch := s.nextEpoch()
 	tRow, tCol, _, tIsTile := part.NodeTile(target)
+
+	// The search window: tree ∪ target bounding box, expanded by the margin.
+	// Off-fabric nodes carry no tile and are always admitted.
+	minR, maxR, minC, maxC := 0, 0, 0, 0
+	bounded = bounded && tIsTile
+	if bounded {
+		minR, maxR, minC, maxC = tRow, tRow, tCol, tCol
+		for _, n := range tree {
+			if row, col, _, ok := part.NodeTile(n); ok {
+				minR, maxR = min(minR, row), max(maxR, row)
+				minC, maxC = min(minC, col), max(maxC, col)
+			}
+		}
+		minR, maxR = minR-searchMargin, maxR+searchMargin
+		minC, maxC = minC-searchMargin, maxC+searchMargin
+	}
 
 	h := func(n device.NodeID) float64 {
 		if !tIsTile {
@@ -257,44 +394,56 @@ func (r *router) search(tree []device.NodeID, target device.NodeID, presentFac f
 		return float64(d) / 6.0 // hex wires cover 6 tiles per node: keep admissible
 	}
 
-	var pq pipHeap
+	pq := &s.pq
+	pq.reset()
 	for _, n := range tree {
-		r.dist[n] = 0
-		r.prevPIP[n] = treeRootPIP
-		r.seen[n] = r.epoch
+		s.dist[n] = 0
+		s.prevPIP[n] = treeRootPIP
+		s.seen[n] = epoch
 		pq.push(pqItem{node: n, prio: h(n)})
 	}
+	pushes := int64(len(tree))
 	for pq.len() > 0 {
 		cur := pq.pop()
 		if cur.node == target {
+			r.pushes += pushes
 			return r.unwind(target), nil
 		}
-		if cur.cost > r.dist[cur.node] {
+		if cur.cost > s.dist[cur.node] {
 			continue // stale entry
 		}
 		for _, pip := range r.g.From(cur.node) {
 			if allow != nil && !allow(pip) {
 				continue
 			}
+			if bounded {
+				if row, col, _, ok := part.NodeTile(pip.Dst); ok &&
+					(row < minR || row > maxR || col < minC || col > maxC) {
+					continue
+				}
+			}
 			nd := cur.cost + r.nodeCost(pip.Dst, presentFac)
-			if r.seen[pip.Dst] == r.epoch && nd >= r.dist[pip.Dst] {
+			if s.seen[pip.Dst] == epoch && nd >= s.dist[pip.Dst] {
 				continue
 			}
-			r.seen[pip.Dst] = r.epoch
-			r.dist[pip.Dst] = nd
-			r.prevPIP[pip.Dst] = pip
+			s.seen[pip.Dst] = epoch
+			s.dist[pip.Dst] = nd
+			s.prevPIP[pip.Dst] = pip
 			pq.push(pqItem{node: pip.Dst, cost: nd, prio: nd + h(pip.Dst)})
+			pushes++
 		}
 	}
-	return nil, fmt.Errorf("no path")
+	r.pushes += pushes
+	return nil, errNoPath
 }
 
-// unwind reconstructs the path, stopping at a tree root.
+// unwind reconstructs the path, stopping at a tree root. The returned slice
+// aliases the scratch path buffer; it is only valid until the next search.
 func (r *router) unwind(target device.NodeID) []treeEdge {
-	var rev []treeEdge
+	rev := r.s.rev[:0]
 	node := target
 	for {
-		pip := r.prevPIP[node]
+		pip := r.s.prevPIP[node]
 		if pip.Row < 0 {
 			break
 		}
@@ -304,6 +453,7 @@ func (r *router) unwind(target device.NodeID) []treeEdge {
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
+	r.s.rev = rev
 	return rev
 }
 
@@ -321,20 +471,24 @@ type pqItem struct {
 	prio float64 // g + h
 }
 
-// pipHeap is a plain binary min-heap on prio; the stdlib container/heap
-// interface costs an allocation per push via the interface boundary, which
-// matters in the router's inner loop.
+// pipHeap is a plain 4-ary min-heap on prio. The stdlib container/heap
+// interface costs an allocation per push via the interface boundary, and a
+// binary heap's pop walks twice the depth with one compare per level; with
+// lazy deletion the A* loop is pop-dominated, so the wide shallow heap (four
+// siblings share a cache line's worth of entries) is measurably faster.
 type pipHeap struct {
 	items []pqItem
 }
 
 func (h *pipHeap) len() int { return len(h.items) }
 
+func (h *pipHeap) reset() { h.items = h.items[:0] }
+
 func (h *pipHeap) push(it pqItem) {
 	h.items = append(h.items, it)
 	i := len(h.items) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if h.items[parent].prio <= h.items[i].prio {
 			break
 		}
@@ -346,22 +500,34 @@ func (h *pipHeap) push(it pqItem) {
 func (h *pipHeap) pop() pqItem {
 	top := h.items[0]
 	last := len(h.items) - 1
-	h.items[0] = h.items[last]
+	it := h.items[last]
 	h.items = h.items[:last]
+	if last == 0 {
+		return top
+	}
+	// Sift the former tail down from the root.
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(h.items) && h.items[l].prio < h.items[smallest].prio {
-			smallest = l
+		first := 4*i + 1
+		if first >= last {
+			break
 		}
-		if r < len(h.items) && h.items[r].prio < h.items[smallest].prio {
-			smallest = r
+		end := first + 4
+		if end > last {
+			end = last
 		}
-		if smallest == i {
-			return top
+		smallest, sp := first, h.items[first].prio
+		for c := first + 1; c < end; c++ {
+			if p := h.items[c].prio; p < sp {
+				smallest, sp = c, p
+			}
 		}
-		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		if it.prio <= sp {
+			break
+		}
+		h.items[i] = h.items[smallest]
 		i = smallest
 	}
+	h.items[i] = it
+	return top
 }
