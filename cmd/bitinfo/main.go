@@ -5,6 +5,13 @@
 // Usage:
 //
 //	bitinfo [-packets] [-columns] design.bit
+//	bitinfo lint design.bit
+//
+// The lint subcommand runs the independent verifier (internal/bitlint) over
+// the stream: it re-decodes the raw bytes, checks packet well-formedness and
+// the CRC chain, differentially compares the reconstruction against the
+// configuration-port VM, and prints every finding. Exit status is non-zero
+// when any error-severity finding is present.
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/bitfile"
+	"repro/internal/bitlint"
 	"repro/internal/bitstream"
 	"repro/internal/device"
 	"repro/internal/frames"
@@ -25,7 +33,49 @@ func main() {
 	}
 }
 
+// lint is the `bitinfo lint` subcommand.
+func lint(args []string) error {
+	fs := flag.NewFlagSet("bitinfo lint", flag.ExitOnError)
+	partName := fs.String("part", "", "pin the target part (default: infer from the FLR write)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: bitinfo lint [-part XCV50] design.bit")
+	}
+	file, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	bs, hdr, err := bitfile.Unwrap(file)
+	if err != nil {
+		return err
+	}
+	if hdr.Part != "" {
+		fmt.Printf(".bit header: design %q, part %s\n", hdr.Design, hdr.Part)
+	}
+	var rep *bitlint.Report
+	if *partName != "" {
+		p, err := device.ByName(*partName)
+		if err != nil {
+			return err
+		}
+		rep, err = bitlint.VerifyFor(p, bs)
+		if err != nil {
+			return err
+		}
+	} else if rep, err = bitlint.Verify(bs); err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if errs := rep.Errors(); len(errs) > 0 {
+		return fmt.Errorf("%d error finding(s)", len(errs))
+	}
+	return nil
+}
+
 func run() error {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		return lint(os.Args[2:])
+	}
 	var (
 		packets = flag.Bool("packets", false, "dump the packet listing")
 		columns = flag.Bool("columns", false, "summarise non-empty frames per column")

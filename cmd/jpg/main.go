@@ -10,7 +10,7 @@
 //
 //	jpg -base base.bit -xdl variant.xdl -ucf variant.ucf -o partial.bit \
 //	    [-writeback rewritten.bit] [-floorplan] [-strict] [-incremental] \
-//	    [-download] [-v] [-faults spec] [-retries n] [-download-timeout d]
+//	    [-verify] [-download] [-v] [-faults spec] [-retries n] [-download-timeout d]
 //	jpg -serve :8080 [-log-level debug] [-cache] [-cache-dir DIR]
 //
 // -serve switches the binary into the jpgd HTTP service (see cmd/jpgd):
@@ -70,6 +70,7 @@ func run() error {
 		download  = flag.Bool("download", false, "download to a simulated board and report the reconfiguration time")
 		compress  = flag.Bool("compress", false, "emit an MFWR-compressed partial bitstream")
 		incr      = flag.Bool("incremental", false, "emit only the frames the module actually changes against the base (a minimal delta partial; not relocatable)")
+		verify    = flag.Bool("verify", false, "independently re-decode the generated partial (internal/bitlint) and fail on any error finding")
 		verbose   = flag.Bool("v", false, "trace the tool's stages and print a per-stage summary and metrics")
 		useCache  = flag.Bool("cache", cache.EnvEnabled(), "memoize partial-bitstream generation (content-addressed; default $JPG_CACHE/$JPG_CACHE_DIR)")
 		cacheDir  = flag.String("cache-dir", os.Getenv(cache.EnvDir), "persist the cache on disk under this directory (implies -cache)")
@@ -142,6 +143,7 @@ func run() error {
 		Strict:    *strict,
 		Compress:  *compress,
 		Delta:     *incr,
+		Verify:    *verify,
 	})
 	sp.End()
 	if err != nil {
@@ -153,6 +155,9 @@ func run() error {
 	fmt.Printf("partial bitstream: %d bytes, %d frames (%d changed), columns %d..%d -> %s\n",
 		len(res.Bitstream), len(res.FARs), res.FramesChanged, res.Region.C1+1, res.Region.C2+1, *outPath)
 	fmt.Printf("size vs full: %.1f%%\n", 100*float64(len(res.Bitstream))/float64(len(baseBS)))
+	if *verify {
+		fmt.Println("verify: partial re-decoded independently, differential against the port VM clean")
+	}
 
 	if *writeBack != "" {
 		full := bitstream.WriteFull(proj.Base)

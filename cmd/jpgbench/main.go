@@ -25,6 +25,9 @@
 //	                         # verifying reliability layer, results identical
 //	jpgbench -retries n      # bound download attempts per board download
 //	jpgbench -download-timeout d  # deadline per download incl. retries
+//	jpgbench -verify         # re-decode every emitted bitstream with the
+//	                         # independent verifier (internal/bitlint) and fail
+//	                         # on any error finding (results identical)
 //	jpgbench -incremental    # also run the E10 edit storm (delta-driven
 //	                         # incremental flow); with -json the edit->partial
 //	                         # stats land in the record for CI's gate
@@ -217,6 +220,7 @@ func run() int {
 		retries  = flag.Int("retries", 0, "max download attempts per board download (0 = xhwif default; the reliability layer is on whenever -faults/-retries/-download-timeout is set)")
 		dlTmout  = flag.Duration("download-timeout", 0, "deadline for one board download including retries")
 		incr     = flag.Bool("incremental", false, "also run the E10 edit storm (delta-driven incremental flow)")
+		verify   = flag.Bool("verify", false, "independently verify every emitted bitstream (internal/bitlint); results identical, runs fail on any error finding")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -258,6 +262,7 @@ func run() int {
 	}
 	cfg := experiments.Config{
 		Part: *part, Seed: *seed, Quick: *quick, Workers: *workers, Starts: *starts,
+		Verify: *verify,
 		Faults: *faultStr, Retries: *retries, DownloadTimeout: *dlTmout,
 	}
 	var bcache *cache.Cache

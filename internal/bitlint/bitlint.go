@@ -1,0 +1,150 @@
+// Package bitlint is an independent verifier for Virtex configuration
+// bitstreams. It re-derives what a bitstream does from the raw bytes —
+// reusing only the packet-header decoding of internal/bitstream, never the
+// writer or the port virtual machine — checks the packet stream for
+// well-formedness (sync word, register sequencing, type-1/type-2 counts, the
+// running CRC chain, FAR legality against the device model), reconstructs
+// the frames.Memory image the stream configures, and reports structured
+// findings.
+//
+// On top of the decoder sit the differential checkers (verify.go): Verify
+// compares bitlint's independent reconstruction against the port VM's, and
+// VerifySplice proves base + partial == full — the paper's central safety
+// claim for partial reconfiguration (PAPER.md §3–4): a JPG-generated partial
+// bitstream downloaded onto a running device must leave the device in
+// exactly the state a full rebuild would have produced.
+package bitlint
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/frames"
+	"repro/internal/obs"
+)
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	// SevWarning marks a stream that is suspicious but would configure a
+	// device (e.g. junk words after DESYNCH).
+	SevWarning Severity = iota
+	// SevError marks a stream that is malformed or unsafe to download.
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one structured lint result.
+type Finding struct {
+	// Code is a stable machine-readable identifier (e.g. "crc-mismatch");
+	// DESIGN.md §13 maps codes to the paper's safety claims.
+	Code     string
+	Severity Severity
+	// Offset is the word offset in the stream the finding anchors to, or -1
+	// when it concerns the stream as a whole.
+	Offset int
+	Detail string
+}
+
+func (f Finding) String() string {
+	if f.Offset >= 0 {
+		return fmt.Sprintf("%s[%s] @word %d: %s", f.Severity, f.Code, f.Offset, f.Detail)
+	}
+	return fmt.Sprintf("%s[%s]: %s", f.Severity, f.Code, f.Detail)
+}
+
+// Lint metrics (always on; see internal/obs).
+var (
+	mDecodes  = obs.GetCounter("bitlint.decodes")
+	mVerifies = obs.GetCounter("bitlint.verifies")
+	mFindings = obs.GetCounter("bitlint.findings")
+	mErrors   = obs.GetCounter("bitlint.error_findings")
+)
+
+// Report is the result of decoding (and optionally differentially verifying)
+// one bitstream.
+type Report struct {
+	// Part is the device the stream targets (inferred from the FLR write
+	// unless the caller pinned it).
+	Part *device.Part
+	// Frames is bitlint's independent reconstruction of the configuration
+	// memory the stream produces (nil when decoding could not start).
+	Frames *frames.Memory
+	// Packets counts decoded packets after sync; FramesWritten counts frames
+	// committed; CRCChecks counts CRC register comparisons that matched.
+	Packets       int
+	FramesWritten int
+	CRCChecks     int
+	// Started reports whether the stream issued the start-up command (full
+	// bitstreams do; partial bitstreams must not).
+	Started  bool
+	Findings []Finding
+}
+
+func (r *Report) add(sev Severity, code string, offset int, format string, args ...any) {
+	r.Findings = append(r.Findings, Finding{
+		Code: code, Severity: sev, Offset: offset, Detail: fmt.Sprintf(format, args...),
+	})
+	mFindings.Inc()
+	if sev == SevError {
+		mErrors.Inc()
+	}
+}
+
+// Errors returns the error-severity findings.
+func (r *Report) Errors() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Err summarises the report as an error: nil when no error-severity finding
+// was recorded, else one error naming the first few.
+func (r *Report) Err() error {
+	errs := r.Errors()
+	if len(errs) == 0 {
+		return nil
+	}
+	const show = 3
+	var b strings.Builder
+	fmt.Fprintf(&b, "bitlint: %d error finding(s)", len(errs))
+	for i, f := range errs {
+		if i == show {
+			fmt.Fprintf(&b, "; and %d more", len(errs)-show)
+			break
+		}
+		b.WriteString("; ")
+		b.WriteString(f.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// String renders the report for humans (the bitinfo lint output).
+func (r *Report) String() string {
+	var b strings.Builder
+	part := "unknown part"
+	if r.Part != nil {
+		part = r.Part.Name
+	}
+	fmt.Fprintf(&b, "bitlint: %s, %d packets, %d frames written, %d CRC checks, started=%v\n",
+		part, r.Packets, r.FramesWritten, r.CRCChecks, r.Started)
+	if len(r.Findings) == 0 {
+		b.WriteString("clean: no findings\n")
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintln(&b, f)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package bitlint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The checked-in corpora are real JPG-flow outputs (see testdata/gen): an
+// E1-style base / partial / spliced-full triple and an E10-style incremental
+// prev / delta / next triple. They pin the verifier against genuine tool
+// output rather than synthetic streams.
+
+func corpusFile(t testing.TB, name string) []byte {
+	t.Helper()
+	bs, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("corpus file missing (regenerate with go run ./internal/bitlint/testdata/gen): %v", err)
+	}
+	return bs
+}
+
+func TestCorpusFullStreamsVerifyClean(t *testing.T) {
+	for _, name := range []string{
+		"e1_base_full.bit", "e1_spliced_full.bit",
+		"e10_prev_full.bit", "e10_next_full.bit",
+	} {
+		t.Run(name, func(t *testing.T) {
+			rep, err := Verify(corpusFile(t, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.Err(); err != nil {
+				t.Fatalf("%v\n%s", err, rep)
+			}
+			if !rep.Started {
+				t.Fatal("full corpus stream does not start the device")
+			}
+		})
+	}
+}
+
+func TestCorpusPartialsVerifyClean(t *testing.T) {
+	for _, tc := range []struct{ base, partial string }{
+		{"e1_base_full.bit", "e1_partial.bit"},
+		{"e10_prev_full.bit", "e10_delta.bit"},
+	} {
+		t.Run(tc.partial, func(t *testing.T) {
+			rep, err := Decode(corpusFile(t, tc.base))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prep, err := VerifyPartial(rep.Frames, corpusFile(t, tc.partial))
+			if err != nil {
+				t.Fatalf("%v\n%s", err, prep)
+			}
+		})
+	}
+}
+
+func TestCorpusSpliceTriples(t *testing.T) {
+	for _, tc := range []struct{ name, base, partial, full string }{
+		{"e1", "e1_base_full.bit", "e1_partial.bit", "e1_spliced_full.bit"},
+		{"e10", "e10_prev_full.bit", "e10_delta.bit", "e10_next_full.bit"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := VerifySplice(corpusFile(t, tc.base), corpusFile(t, tc.partial), corpusFile(t, tc.full))
+			if err != nil {
+				t.Fatalf("%v\n%s", err, rep)
+			}
+		})
+	}
+}

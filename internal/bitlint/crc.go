@@ -1,0 +1,22 @@
+package bitlint
+
+// Independent reimplementation of the Virtex configuration CRC, written from
+// the protocol description rather than shared with internal/bitstream: a
+// 16-bit shift register with polynomial x^16 + x^15 + x^2 + 1 (0x8005),
+// clocked once per input bit, fed the 4 low bits of the register address and
+// then the 32 data bits, each LSB first. Keeping a second implementation is
+// the point — a bug in the writer's CRC cannot cancel out here.
+
+const crcPoly = 0x8005
+
+// crcWord folds one register write (address + data word) into the running
+// CRC, treating the pair as a single 36-bit operand shifted in LSB first.
+func crcWord(crc uint16, reg int, word uint32) uint16 {
+	v := uint64(reg&0xF) | uint64(word)<<4
+	for i := 0; i < 36; i++ {
+		fb := (crc >> 15) ^ uint16(v>>uint(i))&1
+		crc <<= 1
+		crc ^= crcPoly * fb
+	}
+	return crc
+}

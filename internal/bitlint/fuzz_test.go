@@ -1,0 +1,85 @@
+package bitlint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/device"
+	"repro/internal/frames"
+)
+
+// FuzzDecode is the differential fuzz oracle: for arbitrary input bytes,
+// bitlint's decoder and the port VM are two independent implementations of
+// the same configuration logic, so whenever bitlint finds no errors the port
+// must accept the stream and both must reconstruct the identical frame image
+// (and vice versa — the port must not accept what bitlint rejects). The
+// comparison is diffApply itself, so any divergence surfaces as a
+// port-divergence / stats-divergence / differential-mismatch finding.
+func FuzzDecode(f *testing.F) {
+	for _, name := range []string{
+		"e1_base_full.bit", "e1_partial.bit", "e1_spliced_full.bit",
+		"e10_prev_full.bit", "e10_delta.bit", "e10_next_full.bit",
+	} {
+		if bs, err := os.ReadFile(filepath.Join("testdata", name)); err == nil {
+			f.Add(bs)
+		}
+	}
+	f.Add([]byte{})
+	f.Add(streamOf(bitstream.DummyWord, bitstream.SyncWord))
+	f.Add(streamOf(bitstream.DummyWord, bitstream.SyncWord,
+		hdr1(bitstream.OpWrite, bitstream.RegCMD, 1), bitstream.CmdDESYNCH, 0xDEADBEEF))
+
+	p := device.MustByName("XCV50")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep := DecodeFor(p, data)
+		diffApply(rep, frames.New(p), data)
+		for _, fd := range rep.Findings {
+			switch fd.Code {
+			case "port-divergence", "stats-divergence", "differential-mismatch":
+				t.Fatalf("decoder divergence on %d bytes:\n%s", len(data), rep)
+			}
+		}
+	})
+}
+
+// Crashers and divergences found by earlier fuzz runs are pinned here so they
+// cannot regress silently even when the fuzz corpus is unavailable.
+func TestFuzzRegressions(t *testing.T) {
+	p := device.MustByName("XCV50")
+	cases := []struct {
+		name string
+		bs   []byte
+	}{
+		// A type-1 NOP with a non-zero count: the port skips no payload for
+		// NOPs while a naive decoder would; both sides must agree.
+		{"nop-with-count", streamOf(bitstream.DummyWord, bitstream.SyncWord,
+			hdr1(bitstream.OpNOP, 0, 5), 1, 2, 3, 4, 5)},
+		// DESYNCH immediately followed by a word that parses as a packet:
+		// both decoders must treat it as trailer, not as a packet.
+		{"packet-after-desynch", streamOf(bitstream.DummyWord, bitstream.SyncWord,
+			hdr1(bitstream.OpWrite, bitstream.RegCMD, 1), bitstream.CmdDESYNCH,
+			hdr1(bitstream.OpWrite, bitstream.RegFAR, 1), 0)},
+		// Re-sync after DESYNCH starts a fresh packet context.
+		{"resync", streamOf(bitstream.DummyWord, bitstream.SyncWord,
+			hdr1(bitstream.OpWrite, bitstream.RegCMD, 1), bitstream.CmdDESYNCH,
+			bitstream.DummyWord, bitstream.SyncWord,
+			hdr1(bitstream.OpWrite, bitstream.RegCMD, 1), bitstream.CmdRCRC)},
+		// Zero-length input and a lone sync word.
+		{"empty", nil},
+		{"bare-sync", streamOf(bitstream.SyncWord)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := DecodeFor(p, tc.bs)
+			diffApply(rep, frames.New(p), tc.bs)
+			for _, fd := range rep.Findings {
+				switch fd.Code {
+				case "port-divergence", "stats-divergence", "differential-mismatch":
+					t.Fatalf("decoder divergence:\n%s", rep)
+				}
+			}
+		})
+	}
+}

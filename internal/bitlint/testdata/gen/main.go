@@ -1,0 +1,116 @@
+// Command gen regenerates the checked-in bitlint corpora from real JPG-flow
+// outputs: an E1-style base / partial / spliced-full triple and an E10-style
+// incremental-edit triple (previous full, delta partial, next full). The
+// files seed both the corpus regression test (corpus_test.go) and the fuzz
+// targets. Run from the repo root:
+//
+//	go run ./internal/bitlint/testdata/gen
+//
+// The builds are fully deterministic (fixed seeds, serial flow), so a rerun
+// reproduces the checked-in bytes unless the CAD flow itself changed.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/designs"
+	"repro/internal/device"
+	"repro/internal/flow"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir := filepath.Join("internal", "bitlint", "testdata")
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	if err := generate(dir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func generate(dir string) error {
+	ctx := context.Background()
+	part := device.MustByName("XCV50")
+	opts := flow.Options{Seed: 1, Effort: 1.0}
+
+	// E1-style: base design, one re-implemented variant, its partial, and the
+	// full bitstream the splice must land on.
+	base, err := flow.BuildBase(ctx, part, []designs.Instance{
+		{Prefix: "u1/", Gen: designs.Counter{Bits: 6}},
+		{Prefix: "u2/", Gen: designs.SBoxBank{N: 4, Seed: 3}},
+	}, opts)
+	if err != nil {
+		return fmt.Errorf("base build: %w", err)
+	}
+	proj, err := core.NewProject(base.Bitstream)
+	if err != nil {
+		return err
+	}
+	vopts := opts
+	vopts.Seed = 2
+	variant, err := flow.BuildVariant(ctx, base, "u2/", designs.SBoxBank{N: 4, Seed: 9}, vopts)
+	if err != nil {
+		return fmt.Errorf("variant build: %w", err)
+	}
+	mod, err := proj.AddModule("u2_v2", variant.XDL, variant.UCF)
+	if err != nil {
+		return err
+	}
+	res, err := proj.GeneratePartial(mod, core.GenerateOptions{Strict: true})
+	if err != nil {
+		return err
+	}
+	spliced := proj.Base.Clone()
+	if _, err := bitstream.Apply(spliced, res.Bitstream); err != nil {
+		return fmt.Errorf("splice: %w", err)
+	}
+	if err := emit(dir, map[string][]byte{
+		"e1_base_full.bit":    base.Bitstream,
+		"e1_partial.bit":      res.Bitstream,
+		"e1_spliced_full.bit": bitstream.WriteFull(spliced),
+	}); err != nil {
+		return err
+	}
+
+	// E10-style: one init edit absorbed incrementally; the delta partial plus
+	// the previous and next full bitstreams form a splice triple.
+	sess, err := flow.NewVariantEditSession(variant, base.Regions["u2/"], vopts)
+	if err != nil {
+		return err
+	}
+	loop := core.NewEditLoop(proj, sess, "u2_edit", core.GenerateOptions{})
+	next := variant.Netlist.Clone()
+	if err := next.SetInit("u2/sbox0", 0xBEEF); err != nil {
+		return err
+	}
+	er, err := loop.Edit(ctx, next)
+	if err != nil {
+		return fmt.Errorf("edit: %w", err)
+	}
+	if er.Incremental.Delta == nil {
+		return fmt.Errorf("edit produced no delta (path %s)", er.Incremental.Stats.Path)
+	}
+	return emit(dir, map[string][]byte{
+		"e10_prev_full.bit": variant.Bitstream,
+		"e10_delta.bit":     er.Incremental.Delta.Bitstream,
+		"e10_next_full.bit": er.Incremental.Artifacts.Bitstream,
+	})
+}
+
+func emit(dir string, files map[string][]byte) error {
+	for name, bs := range files {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, bs, 0o644); err != nil {
+			return err
+		}
+		log.Printf("wrote %s (%d bytes)", path, len(bs))
+	}
+	return nil
+}

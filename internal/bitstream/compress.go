@@ -38,6 +38,11 @@ func WritePartialCompressed(mem *frames.Memory, runs []FrameRun) ([]byte, error)
 	// Expand runs to an ordered FAR list and group by frame content.
 	var fars []device.FAR
 	for _, run := range runs {
+		if run.N <= 0 {
+			// Match WritePartial: a zero/negative run would otherwise fall out
+			// of the expansion and yield a frame-less "valid" stream.
+			return nil, fmt.Errorf("bitstream: empty frame run at %v", run.Start)
+		}
 		far := run.Start
 		for k := 0; k < run.N; k++ {
 			if !p.ValidFAR(far) {

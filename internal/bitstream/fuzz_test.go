@@ -1,0 +1,78 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/frames"
+)
+
+// seedMemory is randomMemory without the *testing.T, usable from fuzz seed
+// setup.
+func seedMemory(partName string, seed int64) *frames.Memory {
+	p := device.MustByName(partName)
+	m := frames.New(p)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 2000; i++ {
+		m.SetBit(p.CLBBit(rng.Intn(p.Rows), rng.Intn(p.Cols), rng.Intn(device.CLBLocalBits)), true)
+	}
+	return m
+}
+
+// fuzzSeeds adds one of every stream shape the writer can produce, plus a few
+// deliberately broken ones.
+func fuzzSeeds(f *testing.F) {
+	m := seedMemory("XCV50", 99)
+	p := m.Part
+	full := WriteFull(m)
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add(full[:37]) // unaligned truncation
+	runs := []FrameRun{{Start: device.MakeFAR(0, 2, 0), N: device.FramesCLBCol}}
+	if bs, err := WritePartial(m, runs); err == nil {
+		f.Add(bs)
+	}
+	if bs, err := WritePartialCompressed(frames.New(p), runs); err == nil {
+		f.Add(bs)
+	}
+	if bs, err := WriteReadbackRequest(p, runs); err == nil {
+		f.Add(bs)
+	}
+	f.Add([]byte{})
+	f.Add(streamOf(DummyWord, SyncWord, 7<<hdrTypeShift))
+	f.Add(streamOf(DummyWord, SyncWord, type2Header(OpWrite, 4), 1, 2, 3, 4))
+}
+
+// FuzzInspect requires Inspect to terminate without panicking on arbitrary
+// bytes and, when it accepts a stream, to report packet offsets inside it.
+func FuzzInspect(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pis, err := Inspect(data)
+		if err != nil {
+			return
+		}
+		for _, pi := range pis {
+			if pi.Offset < 0 || 4*pi.Offset >= len(data) {
+				t.Fatalf("packet offset %d outside the %d-byte stream", pi.Offset, len(data))
+			}
+		}
+	})
+}
+
+// FuzzApply requires the port VM to terminate without panicking and to keep
+// its stats consistent with the device model on arbitrary bytes.
+func FuzzApply(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mem := frames.New(device.MustByName("XCV50"))
+		stats, err := Apply(mem, data)
+		if err != nil {
+			return
+		}
+		if stats.FramesWritten < 0 {
+			t.Fatalf("negative FramesWritten %d", stats.FramesWritten)
+		}
+	})
+}

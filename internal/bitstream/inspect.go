@@ -51,26 +51,27 @@ func Inspect(bs []byte) ([]PacketInfo, error) {
 			i++
 			continue
 		}
-		h, err := decodeHeader(w, lastReg)
+		h, err := DecodeHeader(w, lastReg)
 		if err != nil {
 			return out, fmt.Errorf("at word %d: %w", i, err)
 		}
-		pi := PacketInfo{Offset: i, Type: h.typ, Op: h.op, Reg: h.reg, Count: h.count}
-		if h.typ == packetType1 {
-			lastReg = h.reg
+		pi := PacketInfo{Offset: i, Type: h.Type, Op: h.Op, Reg: h.Reg, Count: h.Count}
+		if h.Type == PacketType1 {
+			lastReg = h.Reg
 		}
 		i++
-		if h.op == OpWrite {
-			if i+h.count > len(words) {
-				return out, fmt.Errorf("at word %d: truncated packet", pi.Offset)
+		if h.Op == OpWrite {
+			if i+h.Count > len(words) {
+				return out, fmt.Errorf("at word %d: truncated packet (%d payload words missing)",
+					pi.Offset, i+h.Count-len(words))
 			}
-			if h.count >= 1 {
+			if h.Count >= 1 {
 				pi.First = words[i]
 			}
-			if h.reg == RegCMD && h.count == 1 && words[i] == CmdDESYNCH {
+			if h.Reg == RegCMD && h.Count == 1 && words[i] == CmdDESYNCH {
 				synced = false
 			}
-			i += h.count
+			i += h.Count
 		}
 		out = append(out, pi)
 	}

@@ -31,9 +31,14 @@ const (
 	hdrRegMask   = 0x3FFF
 	t1CountMask  = 0x7FF
 	t2CountMask  = 0x7FFFFFF
+)
 
-	packetType1 = 1
-	packetType2 = 2
+// Packet types. A type-1 packet addresses a register directly; a type-2
+// packet extends the word count and inherits the register from the
+// immediately preceding type-1 header.
+const (
+	PacketType1 = 1
+	PacketType2 = 2
 )
 
 // Packet opcodes.
@@ -102,7 +107,7 @@ func CmdName(cmd uint32) string {
 
 // type1Header builds a type-1 packet header word.
 func type1Header(op, reg, count int) uint32 {
-	return uint32(packetType1)<<hdrTypeShift |
+	return uint32(PacketType1)<<hdrTypeShift |
 		uint32(op&hdrOpMask)<<hdrOpShift |
 		uint32(reg&hdrRegMask)<<hdrRegShift |
 		uint32(count&t1CountMask)
@@ -110,25 +115,38 @@ func type1Header(op, reg, count int) uint32 {
 
 // type2Header builds a type-2 packet header word.
 func type2Header(op, count int) uint32 {
-	return uint32(packetType2)<<hdrTypeShift |
+	return uint32(PacketType2)<<hdrTypeShift |
 		uint32(op&hdrOpMask)<<hdrOpShift |
 		uint32(count&t2CountMask)
 }
 
-// header describes a decoded packet header.
-type header struct {
-	typ, op, reg, count int
+// Header describes a decoded packet header: the packet type, opcode, target
+// register and payload word count. For a type-2 packet Reg is inherited from
+// the preceding type-1 register select.
+type Header struct {
+	Type, Op, Reg, Count int
 }
 
-func decodeHeader(w uint32, prevReg int) (header, error) {
+// DecodeHeader decodes one packet header word. prevReg is the register
+// selected by the most recent type-1 header (-1 if none since sync): a
+// type-2 header without one, or with a zero word count, is malformed — the
+// device would latch data into an undefined register or stall — and decodes
+// to a descriptive error rather than silently succeeding.
+func DecodeHeader(w uint32, prevReg int) (Header, error) {
 	typ := int(w >> hdrTypeShift)
 	op := int(w>>hdrOpShift) & hdrOpMask
 	switch typ {
-	case packetType1:
-		return header{typ, op, int(w>>hdrRegShift) & hdrRegMask, int(w & t1CountMask)}, nil
-	case packetType2:
-		return header{typ, op, prevReg, int(w & t2CountMask)}, nil
+	case PacketType1:
+		return Header{PacketType1, op, int(w>>hdrRegShift) & hdrRegMask, int(w & t1CountMask)}, nil
+	case PacketType2:
+		if prevReg < 0 {
+			return Header{}, fmt.Errorf("bitstream: type-2 packet %#08x without a preceding type-1 register select", w)
+		}
+		if w&t2CountMask == 0 {
+			return Header{}, fmt.Errorf("bitstream: type-2 packet %#08x with zero word count", w)
+		}
+		return Header{PacketType2, op, prevReg, int(w & t2CountMask)}, nil
 	default:
-		return header{}, fmt.Errorf("bitstream: bad packet header %#08x (type %d)", w, typ)
+		return Header{}, fmt.Errorf("bitstream: bad packet header %#08x (type %d)", w, typ)
 	}
 }

@@ -92,36 +92,36 @@ func (pt *Port) Feed(words []uint32) error {
 			}
 			continue
 		}
-		h, err := decodeHeader(w, pt.lastReg)
+		h, err := DecodeHeader(w, pt.lastReg)
 		if err != nil {
 			return err
 		}
 		i++
 		pt.Stats.Packets++
-		if h.typ == packetType1 {
-			pt.lastReg = h.reg
+		if h.Type == PacketType1 {
+			pt.lastReg = h.Reg
 		}
-		switch h.op {
+		switch h.Op {
 		case OpNOP:
 			continue
 		case OpRead:
 			return fmt.Errorf("bitstream: read packets are not part of download streams")
 		case OpWrite:
-			if i+h.count > len(words) {
-				return fmt.Errorf("bitstream: truncated packet (%d words missing)", i+h.count-len(words))
+			if i+h.Count > len(words) {
+				return fmt.Errorf("bitstream: truncated packet (%d words missing)", i+h.Count-len(words))
 			}
-			if h.typ == packetType1 && h.count == 0 {
+			if h.Type == PacketType1 && h.Count == 0 {
 				// Register select for a following type-2 packet.
 				continue
 			}
-			data := words[i : i+h.count]
-			i += h.count
-			pt.Stats.Words += h.count
-			if err := pt.writeReg(h.reg, data); err != nil {
+			data := words[i : i+h.Count]
+			i += h.Count
+			pt.Stats.Words += h.Count
+			if err := pt.writeReg(h.Reg, data); err != nil {
 				return err
 			}
 		default:
-			return fmt.Errorf("bitstream: reserved opcode %d", h.op)
+			return fmt.Errorf("bitstream: reserved opcode %d", h.Op)
 		}
 	}
 	return nil

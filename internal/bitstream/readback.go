@@ -68,23 +68,24 @@ func ExecuteReadback(mem *frames.Memory, request []byte) ([]uint32, error) {
 			}
 			continue
 		}
-		h, err := decodeHeader(w, lastReg)
+		h, err := DecodeHeader(w, lastReg)
 		if err != nil {
 			return nil, err
 		}
-		if h.typ == packetType1 {
-			lastReg = h.reg
+		if h.Type == PacketType1 {
+			lastReg = h.Reg
 		}
 		i++
-		switch h.op {
+		switch h.Op {
 		case OpNOP:
 		case OpWrite:
-			if i+h.count > len(words) {
-				return nil, fmt.Errorf("bitstream: truncated readback request")
+			if i+h.Count > len(words) {
+				return nil, fmt.Errorf("bitstream: truncated readback request (%d payload words missing)",
+					i+h.Count-len(words))
 			}
-			data := words[i : i+h.count]
-			i += h.count
-			switch h.reg {
+			data := words[i : i+h.Count]
+			i += h.Count
+			switch h.Reg {
 			case RegFAR:
 				if len(data) == 1 {
 					f := device.FAR(data[0])
@@ -103,28 +104,28 @@ func ExecuteReadback(mem *frames.Memory, request []byte) ([]uint32, error) {
 				}
 			}
 		case OpRead:
-			if h.typ == packetType1 && h.count == 0 {
+			if h.Type == PacketType1 && h.Count == 0 {
 				// Register select for a following type-2 read.
 				continue
 			}
-			if h.reg != RegFDRO {
-				return nil, fmt.Errorf("bitstream: read of register %s unsupported", RegName(h.reg))
+			if h.Reg != RegFDRO {
+				return nil, fmt.Errorf("bitstream: read of register %s unsupported", RegName(h.Reg))
 			}
 			if cmd != CmdRCFG {
 				return nil, fmt.Errorf("bitstream: FDRO read without RCFG")
 			}
-			if h.count%fw != 0 || h.count < 2*fw {
-				return nil, fmt.Errorf("bitstream: FDRO read of %d words (frame length %d)", h.count, fw)
+			if h.Count%fw != 0 || h.Count < 2*fw {
+				return nil, fmt.Errorf("bitstream: FDRO read of %d words (frame length %d)", h.Count, fw)
 			}
 			// Pipeline pad frame first, then payload frames with FAR
 			// auto-increment.
 			out = append(out, make([]uint32, fw)...)
-			for k := 0; k < h.count/fw-1; k++ {
+			for k := 0; k < h.Count/fw-1; k++ {
 				if !p.ValidFAR(far) {
 					return nil, fmt.Errorf("bitstream: readback past end of device")
 				}
 				out = append(out, mem.Frame(far)...)
-				if k < h.count/fw-2 {
+				if k < h.Count/fw-2 {
 					next, ok := p.NextFAR(far)
 					if !ok {
 						return nil, fmt.Errorf("bitstream: readback past end of device")

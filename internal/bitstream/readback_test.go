@@ -1,6 +1,7 @@
 package bitstream
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/device"
@@ -112,4 +113,69 @@ func TestParseReadbackLengthChecks(t *testing.T) {
 	if _, err := ParseReadback(p, runs, make([]uint32, 3*p.FrameWords())); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestReadbackEveryColumn reads back every column of the smallest device,
+// pinning FAR handling at all the column boundaries: the clock column, the
+// first and last CLB columns, both IOB columns, the BRAM interconnect
+// columns and the BRAM content columns — plus every adjacent-column
+// crossing, including the block-type 0 -> 1 gap.
+func TestReadbackEveryColumn(t *testing.T) {
+	mem := randomMemory(t, "XCV50", 13)
+	p := mem.Part
+	// Make every frame distinct so an off-by-one cannot alias: stamp each
+	// frame's first word with its device-order index.
+	for i := 0; i < p.TotalFrames(); i++ {
+		far, err := p.FARAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr := append([]uint32(nil), mem.Frame(far)...)
+		fr[0] = uint32(0xC0DE0000 | i)
+		if err := mem.SetFrame(far, fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	checkRun := func(t *testing.T, run FrameRun) {
+		t.Helper()
+		got, err := ReadbackFrames(mem, []FrameRun{run})
+		if err != nil {
+			t.Fatalf("run %v N=%d: %v", run.Start, run.N, err)
+		}
+		far := run.Start
+		for k := 0; k < run.N; k++ {
+			want := mem.Frame(far)
+			for w := range want {
+				if got[0][k][w] != want[w] {
+					t.Fatalf("run %v N=%d frame %d word %d: %#08x != %#08x",
+						run.Start, run.N, k, w, got[0][k][w], want[w])
+				}
+			}
+			if k < run.N-1 {
+				far, _ = p.NextFAR(far)
+			}
+		}
+	}
+
+	for bt := 0; bt < device.NumBlockTypes; bt++ {
+		for maj := 0; maj < p.NumMajors(bt); maj++ {
+			n := p.FramesInMajor(bt, maj)
+			start := device.MakeFAR(bt, maj, 0)
+			t.Run(fmt.Sprintf("bt%d-major%d", bt, maj), func(t *testing.T) {
+				// The whole column, its first frame, its last frame, and —
+				// when a next column exists — the crossing into it.
+				checkRun(t, FrameRun{Start: start, N: n})
+				checkRun(t, FrameRun{Start: start, N: 1})
+				last := device.MakeFAR(bt, maj, n-1)
+				checkRun(t, FrameRun{Start: last, N: 1})
+				if _, ok := p.NextFAR(last); ok {
+					checkRun(t, FrameRun{Start: last, N: 2})
+				}
+			})
+		}
+	}
+	t.Run("full-device", func(t *testing.T) {
+		checkRun(t, FrameRun{Start: p.FirstFAR(), N: p.TotalFrames()})
+	})
 }

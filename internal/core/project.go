@@ -177,6 +177,14 @@ type GenerateOptions struct {
 	// resulting stream is minimal but not relocatable: it assumes the device
 	// holds the base configuration.
 	Delta bool
+	// Verify runs the independent bitstream verifier (internal/bitlint) over
+	// the generated partial — decoding it from raw bytes, differentially
+	// checking the reconstruction against the configuration-port model, and
+	// requiring that it only rewrites the frames the result declares — and
+	// fails the generation on any error finding. Execution-only: it never
+	// changes the emitted bytes, so it is not part of the memoization key
+	// (cached results are verified on the way out too).
+	Verify bool
 }
 
 // Result reports one partial-bitstream generation.
@@ -225,6 +233,14 @@ func (p *Project) GeneratePartialCtx(ctx context.Context, m *Module, opts Genera
 		obs.CountError("partial")
 		jpglog.Warn(ctx, "core.partial", "module", m.Name, "error", err.Error())
 		return nil, err
+	}
+	if opts.Verify {
+		// Runs after generation (memoized or direct) so cached results are
+		// re-verified too. With WriteBack the base has already advanced, so
+		// the partial verifies as an idempotent overlay of the new base.
+		if err = p.verifyResult(ctx, m, res); err != nil {
+			return nil, err
+		}
 	}
 	if opts.WriteBack {
 		p.advanceBaseFP(m.fp)

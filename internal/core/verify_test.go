@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/bitlint"
+	"repro/internal/device"
+)
+
+// TestGeneratePartialVerified generates a partial with Verify on: the result
+// must be byte-identical to an unverified run and pass the independent
+// re-decode against the project base.
+func TestGeneratePartialVerified(t *testing.T) {
+	base, variant := setup(t)
+	proj, err := NewProject(base.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := proj.AddModule("u1_lfsr", variant.XDL, variant.UCF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := proj.GeneratePartial(m, GenerateOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified, err := proj.GeneratePartial(m, GenerateOptions{Strict: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bitstream, verified.Bitstream) {
+		t.Fatal("Verify changed the generated partial")
+	}
+	// Delta and compressed partials verify too.
+	for _, opts := range []GenerateOptions{
+		{Delta: true, Verify: true},
+		{Compress: true, Verify: true},
+	} {
+		if _, err := proj.GeneratePartial(m, opts); err != nil {
+			t.Fatalf("options %+v: %v", opts, err)
+		}
+	}
+}
+
+// TestVerifyResultCatchesCorruption corrupts a generated partial and a
+// declared frame list, the two failure shapes verifyResult exists for: a
+// stream that does not decode to what it should, and a stream that rewrites
+// frames the result does not declare.
+func TestVerifyResultCatchesCorruption(t *testing.T) {
+	base, variant := setup(t)
+	proj, err := NewProject(base.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := proj.AddModule("u1_lfsr", variant.XDL, variant.UCF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proj.GeneratePartial(m, GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("intact", func(t *testing.T) {
+		if err := proj.verifyResult(context.Background(), m, res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("corrupted-payload", func(t *testing.T) {
+		bad := *res
+		bad.Bitstream = append([]byte(nil), res.Bitstream...)
+		bad.Bitstream[len(bad.Bitstream)/2] ^= 0x04
+		if err := proj.verifyResult(context.Background(), m, &bad); err == nil {
+			t.Fatal("corrupted partial passed verification")
+		}
+	})
+	t.Run("undeclared-frame", func(t *testing.T) {
+		// Drop a genuinely-changed frame from the declared FAR list: the
+		// decoded partial then rewrites a frame the result does not claim.
+		rep, err := bitlint.VerifyPartial(proj.Base, res.Bitstream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffs, err := rep.Frames.Diff(proj.Base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diffs) == 0 {
+			t.Fatal("partial changes no frames; fixture too small")
+		}
+		drop := diffs[len(diffs)-1]
+		bad := *res
+		var kept []device.FAR
+		for _, f := range res.FARs {
+			if f != drop {
+				kept = append(kept, f)
+			}
+		}
+		bad.FARs = kept
+		err = proj.verifyResult(context.Background(), m, &bad)
+		if err == nil {
+			t.Fatal("undeclared frame write passed verification")
+		}
+		if !strings.Contains(err.Error(), "undeclared frame") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	})
+}

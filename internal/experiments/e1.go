@@ -166,7 +166,7 @@ func E1(cfg Config) (*Table, error) {
 	}
 	gens, err := parallel.MapCtx(ctx, mods, func(_ context.Context, _ int, m *core.Module) (genRun, error) {
 		t0 := time.Now()
-		res, err := proj.GeneratePartial(m, core.GenerateOptions{Strict: true})
+		res, err := proj.GeneratePartial(m, cfg.genOpts(core.GenerateOptions{Strict: true}))
 		if err != nil {
 			return genRun{}, err
 		}

@@ -104,7 +104,7 @@ func EditStorm(cfg Config) (*Table, *EditStormStats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	loop := core.NewEditLoop(proj, sess, "u2_storm", core.GenerateOptions{})
+	loop := core.NewEditLoop(proj, sess, "u2_storm", cfg.genOpts(core.GenerateOptions{}))
 
 	// Conventional side: every edit re-runs the full variant CAD flow and
 	// regenerates the partial in a fresh project, as if no previous result
@@ -163,7 +163,7 @@ func EditStorm(cfg Config) (*Table, *EditStormStats, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		coldRes, err := coldProj.GeneratePartial(coldMod, core.GenerateOptions{})
+		coldRes, err := coldProj.GeneratePartial(coldMod, cfg.genOpts(core.GenerateOptions{}))
 		if err != nil {
 			return nil, nil, err
 		}

@@ -76,7 +76,7 @@ func E6(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	jpgRes, err := proj.GeneratePartial(m, core.GenerateOptions{Strict: true})
+	jpgRes, err := proj.GeneratePartial(m, cfg.genOpts(core.GenerateOptions{Strict: true}))
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/faults"
 	"repro/internal/flow"
@@ -116,6 +117,11 @@ type Config struct {
 	// Unlike Workers it changes which placement wins, so results depend on
 	// it — but not on how many workers ran the starts. <= 0 means 1.
 	Starts int
+	// Verify runs the independent bitstream verifier (internal/bitlint)
+	// over every full and partial bitstream the experiments emit, failing
+	// the run on any error finding. Execution-only: results are
+	// byte-identical with it on or off (see flow.Options.Verify).
+	Verify bool
 	// Ctx carries the run's observability context (an obs.Collector
 	// attached by jpgbench -trace); nil means context.Background().
 	// Tracing never changes results — only what gets recorded.
@@ -187,7 +193,14 @@ func (c Config) pool() []parallel.Option {
 // seed — the single point where experiment knobs (effort, multi-start width,
 // pool width) reach the flow layer.
 func (c Config) flowOpts(seed int64) flow.Options {
-	return flow.Options{Seed: seed, Effort: c.Effort, Starts: c.Starts, Workers: c.Workers}
+	return flow.Options{Seed: seed, Effort: c.Effort, Starts: c.Starts, Workers: c.Workers, Verify: c.Verify}
+}
+
+// genOpts stamps the config's verification knob onto partial-generation
+// options — the single point where Config.Verify reaches the core layer.
+func (c Config) genOpts(o core.GenerateOptions) core.GenerateOptions {
+	o.Verify = c.Verify
+	return o
 }
 
 // flowOptsEffort is flowOpts with an explicit effort override (used by the

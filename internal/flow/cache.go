@@ -298,6 +298,11 @@ func runCached(ctx context.Context, c *cache.Cache, p *device.Part, nl *netlist.
 	a.Bitstream = bs
 	mBitgenNS.Observe(a.Times.Bitgen.Nanoseconds())
 	logStage(ctx, "bitgen", a.Times.Bitgen)
+	// Verification covers cached bitstreams too: a corrupted cache entry must
+	// not reach a device just because bitgen was skipped.
+	if err := verifyBitstream(ctx, opts, bs); err != nil {
+		return a, err
+	}
 
 	_, sp = obs.Start(ctx, "emit")
 	defer sp.End()

@@ -106,6 +106,12 @@ type Options struct {
 	// only — never part of cache keys, never visible in results; <= 0
 	// selects parallel.DefaultWorkers().
 	Workers int
+	// Verify runs the independent bitstream verifier (internal/bitlint) over
+	// every bitstream the flow emits and fails the build on any error
+	// finding. Like Workers it is execution-only: it never changes what is
+	// built, so it is not part of cache keys — a verified build and an
+	// unverified one are byte-identical.
+	Verify bool
 }
 
 // placeOptions renders the flow options as placer options.
@@ -348,6 +354,9 @@ func runStages(ctx context.Context, p *device.Part, nl *netlist.Design, cons *uc
 	mRouteNS.Observe(a.Times.Route.Nanoseconds())
 	mBitgenNS.Observe(a.Times.Bitgen.Nanoseconds())
 	logStage(ctx, "bitgen", a.Times.Bitgen)
+	if err := verifyBitstream(ctx, opts, bs); err != nil {
+		return a, err
+	}
 
 	_, sp = obs.Start(ctx, "emit")
 	defer sp.End()

@@ -261,6 +261,16 @@ func (s *EditSession) splice(ctx context.Context, next *netlist.Design, diff *ne
 	}
 	a.Bitstream = bitstream.WriteFull(s.mem)
 	a.Times.Bitgen = time.Since(t0)
+	if err := verifyBitstream(ctx, s.opts, a.Bitstream); err != nil {
+		return nil, err
+	}
+	if delta != nil {
+		// Splice-equals-rebuild: the previous full bitstream plus this
+		// delta must land on exactly the new full bitstream's state.
+		if err := verifySplice(ctx, s.opts, s.prev.Bitstream, delta.Bitstream, a.Bitstream); err != nil {
+			return nil, err
+		}
+	}
 	if s.EmitFiles {
 		if a.XDL, err = xdl.Emit(pd); err != nil {
 			return nil, err

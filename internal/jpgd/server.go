@@ -20,6 +20,7 @@
 //	GET  /debug/pprof/*    Go runtime profiling
 //	POST /v1/generate      partial bitstream from base + XDL/UCF (JPG-over-HTTP)
 //	POST /v1/build         CAD build: base design, optional variant + partial
+//	POST /v1/verify        independent bitstream lint (internal/bitlint)
 package jpgd
 
 import (
@@ -28,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/bitfile"
+	"repro/internal/bitlint"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/designs"
@@ -155,6 +158,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/v1/generate", s.instrument("generate", s.handleGenerate))
 	mux.Handle("/v1/build", s.instrument("build", s.handleBuild))
+	mux.Handle("/v1/verify", s.instrument("verify", s.handleVerify))
 	return mux
 }
 
@@ -273,17 +277,31 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
-func decodeJSON(r *http.Request, v any) error {
+// decodeJSON parses the request body into v and returns the HTTP status to
+// fail with when it is malformed: 413 when the body tripped MaxBytesReader,
+// 400 for everything else. A body is malformed when it is empty, is not a
+// single JSON document, names unknown fields, or carries trailing data.
+func decodeJSON(r *http.Request, v any) (int, error) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		var maxErr *http.MaxBytesError
-		if errors.As(err, &maxErr) {
-			return fmt.Errorf("request body exceeds %d bytes", maxErr.Limit)
+		switch {
+		case errors.As(err, &maxErr):
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", maxErr.Limit)
+		case errors.Is(err, io.EOF):
+			return http.StatusBadRequest,
+				fmt.Errorf("empty request body (expected a JSON document)")
 		}
-		return fmt.Errorf("bad request body: %w", err)
+		return http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
 	}
-	return nil
+	// A second document (or any junk) after the request object is a
+	// malformed payload, not something to silently ignore.
+	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
+		return http.StatusBadRequest, fmt.Errorf("unexpected data after the JSON document")
+	}
+	return 0, nil
 }
 
 // handleFlightrec dumps the flight recorder: JSON by default, a Chrome
@@ -312,6 +330,10 @@ type GenerateRequest struct {
 	Strict   bool   `json:"strict,omitempty"`
 	Compress bool   `json:"compress,omitempty"`
 	Delta    bool   `json:"delta,omitempty"`
+	// Verify re-decodes the generated partial with the independent verifier
+	// (internal/bitlint) before it is returned; the request fails on any
+	// error finding. Results are byte-identical with it on or off.
+	Verify bool `json:"verify,omitempty"`
 	// Download, when present, also downloads the partial to a simulated
 	// board configured with the base design, through the reliability layer.
 	Download *DownloadRequest `json:"download,omitempty"`
@@ -356,8 +378,8 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req GenerateRequest
-	if err := decodeJSON(r, &req); err != nil {
-		s.fail(ctx, w, "generate", http.StatusBadRequest, err)
+	if status, err := decodeJSON(r, &req); err != nil {
+		s.fail(ctx, w, "generate", status, err)
 		return
 	}
 	if req.Base == "" || req.XDL == "" || req.UCF == "" {
@@ -389,7 +411,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		s.fail(ctx, w, "generate", http.StatusBadRequest, err)
 		return
 	}
-	opts := core.GenerateOptions{Strict: req.Strict, Compress: req.Compress, Delta: req.Delta}
+	opts := core.GenerateOptions{Strict: req.Strict, Compress: req.Compress, Delta: req.Delta, Verify: req.Verify}
 
 	resp := GenerateResponse{RequestID: jpglog.RequestIDFrom(ctx), Part: proj.Part.Name}
 	var res *core.Result
@@ -428,6 +450,111 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	resp.Frames = len(res.FARs)
 	resp.FramesChanged = res.FramesChanged
 	resp.Region = res.Region.String()
+	writeJSON(w, resp)
+}
+
+// VerifyRequest is the /v1/verify body: lint a bitstream with the
+// independent verifier. Bitstream is base64 (raw stream or .bit container).
+// With Base set, Bitstream is checked as a partial against that base
+// configuration; otherwise it is verified as a full bitstream.
+type VerifyRequest struct {
+	Bitstream string `json:"bitstream"`
+	Base      string `json:"base,omitempty"`
+}
+
+// VerifyFinding is one structured lint result in a VerifyResponse.
+type VerifyFinding struct {
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	Offset   int    `json:"offset"`
+	Detail   string `json:"detail"`
+}
+
+// VerifyResponse reports the verifier's verdict. OK is true iff no
+// error-severity finding was recorded; warnings are reported but do not
+// clear OK.
+type VerifyResponse struct {
+	RequestID     string          `json:"request_id"`
+	Part          string          `json:"part"`
+	OK            bool            `json:"ok"`
+	Packets       int             `json:"packets"`
+	FramesWritten int             `json:"frames_written"`
+	CRCChecks     int             `json:"crc_checks"`
+	Started       bool            `json:"started"`
+	Findings      []VerifyFinding `json:"findings,omitempty"`
+}
+
+// handleVerify lints a posted bitstream. Findings are the response, not an
+// HTTP failure: an unsafe stream still answers 200 with OK=false — only a
+// malformed request envelope (bad base64, undecodable base) is a 4xx.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if r.Method != http.MethodPost {
+		s.fail(ctx, w, "verify", http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req VerifyRequest
+	if status, err := decodeJSON(r, &req); err != nil {
+		s.fail(ctx, w, "verify", status, err)
+		return
+	}
+	if req.Bitstream == "" {
+		s.fail(ctx, w, "verify", http.StatusBadRequest, fmt.Errorf("bitstream is required"))
+		return
+	}
+	file, err := base64.StdEncoding.DecodeString(req.Bitstream)
+	if err != nil {
+		s.fail(ctx, w, "verify", http.StatusBadRequest, fmt.Errorf("bitstream is not base64: %w", err))
+		return
+	}
+	bs, _, err := bitfile.Unwrap(file)
+	if err != nil {
+		s.fail(ctx, w, "verify", http.StatusBadRequest, err)
+		return
+	}
+
+	var rep *bitlint.Report
+	if req.Base != "" {
+		baseFile, err := base64.StdEncoding.DecodeString(req.Base)
+		if err != nil {
+			s.fail(ctx, w, "verify", http.StatusBadRequest, fmt.Errorf("base is not base64: %w", err))
+			return
+		}
+		baseBS, _, err := bitfile.Unwrap(baseFile)
+		if err != nil {
+			s.fail(ctx, w, "verify", http.StatusBadRequest, err)
+			return
+		}
+		baseRep, err := bitlint.Verify(baseBS)
+		if err != nil {
+			s.fail(ctx, w, "verify", http.StatusBadRequest, fmt.Errorf("base: %w", err))
+			return
+		}
+		if err := baseRep.Err(); err != nil {
+			s.fail(ctx, w, "verify", http.StatusBadRequest, fmt.Errorf("base stream unsafe: %w", err))
+			return
+		}
+		rep, _ = bitlint.VerifyPartial(baseRep.Frames, bs)
+	} else if rep, err = bitlint.Verify(bs); err != nil {
+		s.fail(ctx, w, "verify", http.StatusBadRequest, err)
+		return
+	}
+
+	resp := VerifyResponse{
+		RequestID:     jpglog.RequestIDFrom(ctx),
+		Part:          rep.Part.Name,
+		OK:            len(rep.Errors()) == 0,
+		Packets:       rep.Packets,
+		FramesWritten: rep.FramesWritten,
+		CRCChecks:     rep.CRCChecks,
+		Started:       rep.Started,
+	}
+	for _, f := range rep.Findings {
+		resp.Findings = append(resp.Findings, VerifyFinding{
+			Code: f.Code, Severity: f.Severity.String(), Offset: f.Offset, Detail: f.Detail,
+		})
+	}
+	jpglog.Info(ctx, "jpgd.verify", "part", resp.Part, "ok", resp.OK, "findings", len(resp.Findings))
 	writeJSON(w, resp)
 }
 
@@ -528,8 +655,8 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req BuildRequest
-	if err := decodeJSON(r, &req); err != nil {
-		s.fail(ctx, w, "build", http.StatusBadRequest, err)
+	if status, err := decodeJSON(r, &req); err != nil {
+		s.fail(ctx, w, "build", status, err)
 		return
 	}
 	part, err := device.ByName(req.Part)

@@ -527,3 +527,190 @@ func TestBuildEndpoint(t *testing.T) {
 			len(out.Variant.Bitstream), len(want.Bitstream))
 	}
 }
+
+// TestIngestionHardening pins the decode-side fixes on the ingestion path:
+// descriptive 400s for empty bodies and trailing JSON, 413 (not 400, and
+// never 500) when the body trips MaxBytesReader.
+func TestIngestionHardening(t *testing.T) {
+	_, ts := newTestServer(t, jpgd.Config{MaxBodyBytes: 256})
+
+	cases := []struct {
+		name, body string
+		status     int
+		want       string // substring of the error message
+	}{
+		{"empty-body", "", http.StatusBadRequest, "empty request body"},
+		{"whitespace-body", "   \n", http.StatusBadRequest, "empty request body"},
+		{"trailing-document", `{"xdl":"x"}{"xdl":"y"}`, http.StatusBadRequest, "after the JSON document"},
+		{"trailing-junk", `{"xdl":"x"} garbage`, http.StatusBadRequest, "after the JSON document"},
+		{"unknown-field", `{"bogus":1}`, http.StatusBadRequest, "unknown field"},
+		{"oversized", `{"base":"` + strings.Repeat("A", 512) + `"}`,
+			http.StatusRequestEntityTooLarge, "exceeds 256 bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/generate", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatalf("error envelope not JSON: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d (error %q)", resp.StatusCode, tc.status, e.Error)
+			}
+			if !strings.Contains(e.Error, tc.want) {
+				t.Fatalf("error %q does not mention %q", e.Error, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifyEndpoint(t *testing.T) {
+	f := buildFixture(t)
+	_, ts := newTestServer(t, jpgd.Config{})
+
+	post := func(t *testing.T, req jpgd.VerifyRequest) (int, jpgd.VerifyResponse) {
+		t.Helper()
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var vr jpgd.VerifyResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		return resp.StatusCode, vr
+	}
+
+	t.Run("clean-full", func(t *testing.T) {
+		status, vr := post(t, jpgd.VerifyRequest{
+			Bitstream: base64.StdEncoding.EncodeToString(f.base.Bitstream),
+		})
+		if status != http.StatusOK || !vr.OK {
+			t.Fatalf("status %d, ok=%v, findings %+v", status, vr.OK, vr.Findings)
+		}
+		if !vr.Started || vr.FramesWritten == 0 {
+			t.Fatalf("unexpected verdict: %+v", vr)
+		}
+	})
+	t.Run("corrupted-full", func(t *testing.T) {
+		bad := append([]byte(nil), f.base.Bitstream...)
+		bad[len(bad)/2] ^= 0x10
+		status, vr := post(t, jpgd.VerifyRequest{
+			Bitstream: base64.StdEncoding.EncodeToString(bad),
+		})
+		if status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		if vr.OK {
+			t.Fatal("corrupted stream verified OK")
+		}
+		found := false
+		for _, fd := range vr.Findings {
+			if fd.Code == "crc-mismatch" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no crc-mismatch finding: %+v", vr.Findings)
+		}
+	})
+	t.Run("partial-against-base", func(t *testing.T) {
+		// Generate a partial through the API, then verify it against its base.
+		resp, err := http.Post(ts.URL+"/v1/generate", "application/json",
+			bytes.NewReader(generateBody(t, f, nil)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gr jpgd.GenerateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("generate status %d", resp.StatusCode)
+		}
+		status, vr := post(t, jpgd.VerifyRequest{
+			Bitstream: base64.StdEncoding.EncodeToString(gr.Bitstream),
+			Base:      base64.StdEncoding.EncodeToString(f.base.Bitstream),
+		})
+		if status != http.StatusOK || !vr.OK {
+			t.Fatalf("status %d, ok=%v, findings %+v", status, vr.OK, vr.Findings)
+		}
+		if vr.Started {
+			t.Fatal("partial reported as starting the device")
+		}
+	})
+	t.Run("full-as-partial", func(t *testing.T) {
+		status, vr := post(t, jpgd.VerifyRequest{
+			Bitstream: base64.StdEncoding.EncodeToString(f.base.Bitstream),
+			Base:      base64.StdEncoding.EncodeToString(f.base.Bitstream),
+		})
+		if status != http.StatusOK || vr.OK {
+			t.Fatalf("full stream as partial: status %d, ok=%v", status, vr.OK)
+		}
+	})
+	t.Run("bad-envelope", func(t *testing.T) {
+		if status, _ := post(t, jpgd.VerifyRequest{}); status != http.StatusBadRequest {
+			t.Fatalf("missing bitstream: status %d", status)
+		}
+		if status, _ := post(t, jpgd.VerifyRequest{Bitstream: "!!!"}); status != http.StatusBadRequest {
+			t.Fatalf("bad base64: status %d", status)
+		}
+	})
+}
+
+// TestGenerateVerifyOption runs /v1/generate with verify=true and checks the
+// result is byte-identical to an unverified run.
+func TestGenerateVerifyOption(t *testing.T) {
+	f := buildFixture(t)
+	_, ts := newTestServer(t, jpgd.Config{})
+
+	gen := func(t *testing.T, verify bool) jpgd.GenerateResponse {
+		t.Helper()
+		body, err := json.Marshal(jpgd.GenerateRequest{
+			Base:   base64.StdEncoding.EncodeToString(f.base.Bitstream),
+			XDL:    f.variant.XDL,
+			UCF:    f.variant.UCF,
+			Name:   "u1_lfsr",
+			Verify: verify,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		var gr jpgd.GenerateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
+			t.Fatal(err)
+		}
+		return gr
+	}
+
+	plain := gen(t, false)
+	verified := gen(t, true)
+	if !bytes.Equal(plain.Bitstream, verified.Bitstream) {
+		t.Fatal("verify=true changed the generated bitstream")
+	}
+}
