@@ -229,7 +229,10 @@ func serveDaemon(addr, logLevel string, useCache bool, cacheDir string) error {
 	if err != nil {
 		return err
 	}
-	cfg := jpgd.Config{Logger: jpglog.New(os.Stderr, level)}
+	cfg := jpgd.Config{
+		Logger: jpglog.New(os.Stderr, level),
+		Serve:  jpgd.ServeOptionsFromEnv(),
+	}
 	if useCache || cacheDir != "" {
 		cfg.Cache = cache.New(cache.Options{Dir: cacheDir, NoDisk: cacheDir == ""})
 	}

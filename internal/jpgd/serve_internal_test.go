@@ -1,0 +1,131 @@
+package jpgd
+
+// White-box pins for the hot-artifact path: the deliver fast path must stay
+// allocation-flat (no body-sized copies per request), and the byte-bounded
+// LRU must evict strictly from the cold tail. BenchmarkHotArtifactRequest is
+// the allocs-per-op benchmark the serving satellite pins against.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/obs"
+)
+
+type nullResponseWriter struct{ hdr http.Header }
+
+func (w *nullResponseWriter) Header() http.Header         { return w.hdr }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+func (w *nullResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+
+// TestDeliverAllocsFlat pins deliver to header-only allocations: the body is
+// written from the shared artifact slice, never copied, so allocs/op stays a
+// small constant regardless of body size.
+func TestDeliverAllocsFlat(t *testing.T) {
+	s := New(Config{Registry: obs.NewRegistry()})
+	art := &artifact{
+		status: http.StatusOK,
+		ctype:  "application/json",
+		etag:   `"deadbeef"`,
+		body:   make([]byte, 256<<10),
+	}
+	w := &nullResponseWriter{hdr: make(http.Header)}
+	r := httptest.NewRequest("POST", "/v1/generate", nil)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		s.deliver(w, r, art, "hit")
+	})
+	// Header.Set allocates one []string per header plus the Itoa string;
+	// anything above ~8 means a body copy or encoder snuck back in.
+	if allocs > 8 {
+		t.Fatalf("deliver allocates %.1f objects/op for a 256KB body, want <= 8", allocs)
+	}
+}
+
+func TestArtifactCacheEvictsFromTail(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Budget fits two entries (body + artOverhead accounting) but not three.
+	c := newArtifactCache(2*(1024+artOverhead), reg)
+	mk := func(name string) (k cache.Key) { copy(k[:], name); return }
+	body := make([]byte, 1024)
+
+	c.put(mk("a"), &artifact{status: 200, body: body})
+	c.put(mk("b"), &artifact{status: 200, body: body})
+	// Touch "a" so "b" is the LRU tail when "c" forces an eviction.
+	if _, ok := c.get(mk("a")); !ok {
+		t.Fatal("artifact a missing before eviction")
+	}
+	c.put(mk("c"), &artifact{status: 200, body: body})
+
+	if _, ok := c.get(mk("b")); ok {
+		t.Fatal("LRU tail b survived eviction")
+	}
+	for _, want := range []string{"a", "c"} {
+		if _, ok := c.get(mk(want)); !ok {
+			t.Fatalf("artifact %s evicted, want only the tail dropped", want)
+		}
+	}
+	if ev := reg.GetCounter("jpgd.artifact.evict").Value(); ev != 1 {
+		t.Fatalf("jpgd.artifact.evict = %d, want 1", ev)
+	}
+}
+
+func TestPipelineDefaults(t *testing.T) {
+	p := newPipeline(ServeOptions{}, obs.NewRegistry())
+	if p.opts.MaxInflight < 8 {
+		t.Fatalf("default MaxInflight = %d, want >= 8", p.opts.MaxInflight)
+	}
+	if p.opts.Queue != 4*p.opts.MaxInflight {
+		t.Fatalf("default Queue = %d, want 4x MaxInflight", p.opts.Queue)
+	}
+	if p.artifacts == nil {
+		t.Fatal("artifact cache disabled by default")
+	}
+	if p.opts.ArtifactCacheBytes != 64<<20 {
+		t.Fatalf("default artifact budget = %d, want 64MB", p.opts.ArtifactCacheBytes)
+	}
+
+	off := newPipeline(ServeOptions{Queue: -1, ArtifactCacheBytes: -1}, obs.NewRegistry())
+	if off.opts.Queue != 0 {
+		t.Fatalf("Queue=-1 normalised to %d, want 0 (no waiting)", off.opts.Queue)
+	}
+	if off.artifacts != nil {
+		t.Fatal("ArtifactCacheBytes=-1 did not disable the cache")
+	}
+}
+
+// BenchmarkHotArtifactRequest measures the full handler path for a
+// hot-artifact request — middleware, body read, keying, cache lookup,
+// deliver — with the artifact pre-seeded so no flow executes. This is the
+// allocs-per-op pin for the zero-rebuild serving path: run with -benchmem
+// and compare B/op against the body size (it must be far below it).
+func BenchmarkHotArtifactRequest(b *testing.B) {
+	s := New(Config{Registry: obs.NewRegistry()})
+	h := s.Handler()
+
+	body := bytes.Repeat([]byte("x"), 128<<10)
+	key := requestKey("generate", body)
+	s.pipe.artifacts.put(key, &artifact{
+		status: http.StatusOK,
+		ctype:  "application/json",
+		etag:   `"` + key.String()[:32] + `"`,
+		body:   bytes.Repeat([]byte("y"), 128<<10),
+	})
+
+	w := &nullResponseWriter{hdr: make(http.Header)}
+	rd := bytes.NewReader(body)
+	req := httptest.NewRequest("POST", "/v1/generate", nil)
+
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(body)
+		req.Body = io.NopCloser(rd)
+		h.ServeHTTP(w, req)
+	}
+}

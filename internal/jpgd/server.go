@@ -34,6 +34,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -80,6 +81,10 @@ type Config struct {
 	// ShutdownTimeout bounds the graceful drain of in-flight requests
 	// (default 10s).
 	ShutdownTimeout time.Duration
+	// Serve tunes the throughput pipeline (request coalescing, hot-artifact
+	// cache, admission control). The zero value enables everything with
+	// defaults; see ServeOptions.
+	Serve ServeOptions
 }
 
 // Server is the jpgd HTTP service.
@@ -87,6 +92,7 @@ type Server struct {
 	cfg   Config
 	reg   *obs.Registry
 	rec   *flightrec.Recorder
+	pipe  *pipeline
 	ready atomic.Bool
 
 	mRequests  *obs.Counter
@@ -123,6 +129,7 @@ func New(cfg Config) *Server {
 		mGenerates: cfg.Registry.GetCounter("jpgd.generates"),
 		mBuilds:    cfg.Registry.GetCounter("jpgd.builds"),
 	}
+	s.pipe = newPipeline(cfg.Serve, cfg.Registry)
 	s.ready.Store(true)
 	return s
 }
@@ -195,10 +202,11 @@ func (m multiSink) Record(rec obs.SpanRecord) {
 	}
 }
 
-// instrument wraps an API handler with the per-request observability stack:
-// correlation ID (minted or adopted from X-Request-ID), request-bound
+// instrument wraps an API handler with the per-request observability stack
+// — correlation ID (minted or adopted from X-Request-ID), request-bound
 // logger, per-request span collector feeding the flight recorder, request
-// span, metrics and the access log.
+// span, metrics and the access log — then hands the request to the serving
+// pipeline (artifact cache, coalescing, admission; see serve.go).
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
@@ -222,6 +230,11 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		if s.cfg.Cache != nil {
 			ctx = cache.With(ctx, s.cfg.Cache)
 		}
+		if s.pipe.opts.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.pipe.opts.RequestTimeout)
+			defer cancel()
+		}
 
 		ctx, sp := obs.Start(ctx, "jpgd.request")
 		sp.SetStr("request_id", id)
@@ -231,10 +244,17 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		s.mInflight.Add(1)
 		defer s.mInflight.Add(-1)
 
+		// The pipeline WaitGroup covers the full lifetime — queued for
+		// admission and waiting as a coalesced follower included — so a
+		// graceful drain waits for every request already accepted, not just
+		// the ones executing a handler.
+		s.pipe.wg.Add(1)
+		defer s.pipe.wg.Done()
+
 		sw := &statusWriter{ResponseWriter: w}
 		sw.Header().Set("X-Request-ID", id)
 		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
-		h(sw, r.WithContext(ctx))
+		s.dispatch(route, sw, r.WithContext(ctx), h)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
@@ -252,29 +272,46 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	})
 }
 
-// apiError is the JSON error envelope of the v1 endpoints.
+// apiError is the JSON error envelope of the v1 endpoints. Like every v1
+// response body it carries no correlation ID — that travels in the
+// X-Request-ID header — so bodies stay pure functions of the request and
+// can be shared across coalesced and cached deliveries.
 type apiError struct {
-	Error     string `json:"error"`
-	RequestID string `json:"request_id,omitempty"`
+	Error string `json:"error"`
 }
 
 // fail writes the error envelope and records the failure in the flight
 // recorder (status chooses the HTTP code; 4xx are client mistakes, 5xx are
-// generation failures worth a post-mortem).
+// generation failures worth a post-mortem). A request whose deadline expired
+// mid-generation answers 503 + Retry-After instead of a 5xx: the work was
+// shed, not broken.
 func (s *Server) fail(ctx context.Context, w http.ResponseWriter, route string, status int, err error) {
+	if status >= 500 && errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
 	id := jpglog.RequestIDFrom(ctx)
 	s.rec.RecordError("jpgd."+route, id, err)
 	jpglog.Warn(ctx, "request.failed", "route", route, "status", status, "error", err.Error())
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(apiError{Error: err.Error(), RequestID: id})
+	json.NewEncoder(w).Encode(apiError{Error: err.Error()})
 }
 
+// writeJSON encodes v through a pooled buffer: one allocation-free encode
+// staging area, a correct Content-Length, and a single Write to the socket.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	buf := getBuf()
+	defer putBuf(buf)
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Write(buf.Bytes())
 }
 
 // decodeJSON parses the request body into v and returns the HTTP status to
@@ -359,9 +396,10 @@ type DownloadResult struct {
 }
 
 // GenerateResponse is the /v1/generate result. Bitstream is base64 (JSON's
-// []byte encoding).
+// []byte encoding). The correlation ID is in the X-Request-ID response
+// header, not the body: the body is a pure function of the request, so
+// coalesced and cached deliveries can share it byte for byte.
 type GenerateResponse struct {
-	RequestID     string          `json:"request_id"`
 	Part          string          `json:"part"`
 	Bitstream     []byte          `json:"bitstream"`
 	Bytes         int             `json:"bytes"`
@@ -413,7 +451,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := core.GenerateOptions{Strict: req.Strict, Compress: req.Compress, Delta: req.Delta, Verify: req.Verify}
 
-	resp := GenerateResponse{RequestID: jpglog.RequestIDFrom(ctx), Part: proj.Part.Name}
+	resp := GenerateResponse{Part: proj.Part.Name}
 	var res *core.Result
 	if req.Download != nil {
 		board, err := s.boardWithBase(ctx, proj.Part, baseBS)
@@ -474,7 +512,6 @@ type VerifyFinding struct {
 // error-severity finding was recorded; warnings are reported but do not
 // clear OK.
 type VerifyResponse struct {
-	RequestID     string          `json:"request_id"`
 	Part          string          `json:"part"`
 	OK            bool            `json:"ok"`
 	Packets       int             `json:"packets"`
@@ -541,7 +578,6 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := VerifyResponse{
-		RequestID:     jpglog.RequestIDFrom(ctx),
 		Part:          rep.Part.Name,
 		OK:            len(rep.Errors()) == 0,
 		Packets:       rep.Packets,
@@ -638,9 +674,9 @@ type VariantResult struct {
 	Region        string     `json:"region"`
 }
 
-// BuildResponse is the /v1/build result.
+// BuildResponse is the /v1/build result. As with GenerateResponse, the
+// correlation ID lives in the X-Request-ID header only.
 type BuildResponse struct {
-	RequestID string            `json:"request_id"`
 	Part      string            `json:"part"`
 	BaseBytes int               `json:"base_bytes"`
 	BaseTimes BuildTimes        `json:"base_times"`
@@ -675,7 +711,6 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := BuildResponse{
-		RequestID: jpglog.RequestIDFrom(ctx),
 		Part:      part.Name,
 		BaseBytes: len(base.Bitstream),
 		BaseTimes: buildTimes(base.Times),
@@ -728,8 +763,10 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 
 // ListenAndServe runs the daemon on addr until ctx is cancelled, then
 // drains gracefully: readiness flips to 503, DrainDelay passes (load
-// balancers stop routing), and in-flight requests get ShutdownTimeout to
-// finish. The returned error is nil on a clean drain.
+// balancers stop routing), new API requests are shed, and every request
+// already in the pipeline — executing, queued for admission, or waiting as
+// a coalesced follower — gets ShutdownTimeout to finish. The returned error
+// is nil on a clean drain.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -759,10 +796,21 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	if s.cfg.DrainDelay > 0 {
 		time.Sleep(s.cfg.DrainDelay)
 	}
+	// Shed new arrivals, then wait for the whole pipeline — not just the
+	// handlers the HTTP server sees as active, but also requests queued for
+	// admission and coalesced followers waiting on a leader's flight.
+	s.BeginDrain()
 	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
 	defer cancel()
+	drainErr := s.Drain(sctx)
+	if drainErr != nil {
+		jpglog.Warn(lctx, "jpgd.drain_incomplete", "error", drainErr.Error())
+	}
 	err := srv.Shutdown(sctx)
 	<-errc // srv.Serve has returned http.ErrServerClosed
 	jpglog.Info(lctx, "jpgd.stopped")
+	if err == nil {
+		err = drainErr
+	}
 	return err
 }

@@ -1,0 +1,80 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Semaphore.Acquire when every execution slot is
+// held and the bounded wait queue is already at capacity — the caller should
+// shed the work (a jpgd request maps it to 429 + Retry-After) rather than
+// buffer it without bound.
+var ErrQueueFull = errors.New("parallel: admission queue full")
+
+// Semaphore is a bounded admission controller: at most `slots` holders run
+// concurrently, at most `queue` more wait for a slot, and everything beyond
+// that is rejected immediately. It is the backpressure primitive behind the
+// jpgd serving layer — deterministic load shedding instead of unbounded
+// goroutine/connection pileup when offered load exceeds capacity.
+//
+// Waiting is context-aware: a queued Acquire unblocks with ctx.Err() when its
+// request deadline passes or the client goes away, releasing its queue slot.
+type Semaphore struct {
+	slots  chan struct{}
+	queued atomic.Int64
+	queue  int64
+}
+
+// NewSemaphore returns a semaphore with the given execution slots (minimum 1)
+// and wait-queue capacity (0 means no waiting: a full semaphore rejects
+// instantly).
+func NewSemaphore(slots, queue int) *Semaphore {
+	if slots < 1 {
+		slots = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Semaphore{slots: make(chan struct{}, slots), queue: int64(queue)}
+}
+
+// TryAcquire takes a slot if one is free without queueing.
+func (s *Semaphore) TryAcquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire takes a slot, waiting in the bounded queue when none is free.
+// It returns nil once a slot is held, ErrQueueFull when the queue is at
+// capacity, or ctx.Err() when the context ends while waiting. Every nil
+// return must be paired with Release.
+func (s *Semaphore) Acquire(ctx context.Context) error {
+	if s.TryAcquire() {
+		return nil
+	}
+	if s.queued.Add(1) > s.queue {
+		s.queued.Add(-1)
+		return ErrQueueFull
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot taken by a successful TryAcquire/Acquire.
+func (s *Semaphore) Release() { <-s.slots }
+
+// InFlight returns the number of currently held slots.
+func (s *Semaphore) InFlight() int { return len(s.slots) }
+
+// Queued returns the number of callers waiting for a slot.
+func (s *Semaphore) Queued() int64 { return s.queued.Load() }

@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreBoundsConcurrency(t *testing.T) {
+	s := NewSemaphore(3, 64)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Acquire(context.Background()); err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			defer s.Release()
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds 3 slots", p)
+	}
+	if s.InFlight() != 0 || s.Queued() != 0 {
+		t.Fatalf("not drained: inflight=%d queued=%d", s.InFlight(), s.Queued())
+	}
+}
+
+func TestSemaphoreShedsWhenQueueFull(t *testing.T) {
+	s := NewSemaphore(1, 0)
+	if !s.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if s.TryAcquire() {
+		t.Fatal("second TryAcquire succeeded with 1 slot")
+	}
+	if err := s.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Acquire with full queue = %v, want ErrQueueFull", err)
+	}
+	s.Release()
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	s.Release()
+}
+
+func TestSemaphoreQueueAdmitsAfterRelease(t *testing.T) {
+	s := NewSemaphore(1, 1)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- s.Acquire(context.Background()) }()
+	// Wait for the second caller to be queued, then a third must shed.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third caller = %v, want ErrQueueFull", err)
+	}
+	s.Release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued caller: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued caller never admitted")
+	}
+	s.Release()
+}
+
+func TestSemaphoreAcquireHonoursContext(t *testing.T) {
+	s := NewSemaphore(1, 4)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Acquire = %v, want DeadlineExceeded", err)
+	}
+	if s.Queued() != 0 {
+		t.Fatalf("queue slot leaked: %d", s.Queued())
+	}
+}
